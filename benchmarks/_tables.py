@@ -1,0 +1,39 @@
+"""Shared formatting helpers for the table/figure harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as a fixed-width text table."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(60, len(title) + 4)
+    return f"\n{rule}\n  {title}\n{rule}"
+
+
+def geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def pct(ratio: float) -> str:
+    """A gain ratio as a +x.x% improvement string."""
+    return f"{(1.0 - 1.0 / ratio) * 100.0:+.1f}%"

@@ -1,0 +1,120 @@
+"""Extension studies the paper sketches but does not evaluate in full.
+
+* **static caps vs DUF** (Sec. VII-F): inter-kernel static capping against
+  an intra-kernel dynamic uncore runtime on a phase-alternating sequence --
+  the paper's claim is "equivalent or better performance ... while offering
+  a simpler, lower-overhead implementation".
+* **joint core+uncore management** (Sec. VII-F "Core Frequency Selection"):
+  the Sec. V model re-parameterized by the core clock; shows uncore capping
+  composes with core DVFS (CB kernels: core axis dominates; BB kernels:
+  uncore axis dominates).
+"""
+
+import pytest
+
+from _tables import banner, format_table
+from repro.experiments import kernel_report
+from repro.hw import get_platform, run_capped_sequence
+from repro.hw.duf import DufConfig, run_duf_sequence
+from repro.model.corescale import CoreScaledModel, joint_search
+from repro.model.parametric import KernelSummary, PolyUFCModel
+from repro.pipeline import get_constants
+
+PLATFORM = "rpl"
+
+
+def _workloads_and_caps(kernels):
+    platform = get_platform(PLATFORM)
+    workloads = []
+    caps = []
+    for kernel in kernels:
+        report = kernel_report(kernel, PLATFORM)
+        for unit in report.units:
+            workload = unit.workload(platform.threads)
+            workloads.append(workload)
+            caps.append((workload, unit.cap_ghz))
+    return workloads, caps
+
+
+def test_static_caps_vs_duf(benchmark):
+    platform = get_platform(PLATFORM)
+
+    def run():
+        # Phase-wise sequence: a long gemm (CB) phase followed by a long
+        # mvt (BB) phase, like real applications alternate kernels.  The
+        # static binary switches caps only at phase boundaries.
+        reps = 40
+        workloads = []
+        caps = []
+        for kernel in ("gemm", "mvt"):
+            kernel_workloads, kernel_caps = _workloads_and_caps([kernel])
+            workloads.extend(kernel_workloads * reps)
+            caps.extend(kernel_caps * reps)
+        static = run_capped_sequence(platform, caps, noisy=False)
+        dynamic = run_duf_sequence(platform, workloads, DufConfig())
+        return static, dynamic
+
+    static, dynamic = benchmark(run)
+    print(banner("Sec. VII-F: static inter-kernel caps vs dynamic DUF"))
+    print(
+        format_table(
+            ["runtime", "time (ms)", "energy (J)", "EDP", "driver calls"],
+            [
+                ("PolyUFC static", f"{static.time_s * 1e3:.2f}",
+                 f"{static.energy_j:.4f}", f"{static.edp:.3e}",
+                 static.cap_switches),
+                ("DUF dynamic", f"{dynamic.time_s * 1e3:.2f}",
+                 f"{dynamic.energy_j:.4f}", f"{dynamic.edp:.3e}",
+                 dynamic.cap_switches),
+            ],
+        )
+    )
+    # equivalent or better performance and EDP, with fewer driver calls
+    assert static.time_s <= dynamic.time_s * 1.05
+    assert static.edp <= dynamic.edp * 1.05
+    assert static.cap_switches <= dynamic.cap_switches
+
+
+def _scaled_model(kernel, constants, platform):
+    report = kernel_report(kernel, PLATFORM)
+    unit = max(report.units, key=lambda u: u.omega)
+    summary = KernelSummary(
+        unit.name, unit.omega, unit.q_dram_model, unit.model_dram_lines,
+        tuple(unit.model_level_bytes), unit.cores_fraction,
+    )
+    return CoreScaledModel(
+        PolyUFCModel(constants, summary), platform.core_base_ghz
+    )
+
+
+def test_joint_core_uncore_search(benchmark):
+    platform = get_platform(PLATFORM)
+    constants = get_constants(platform)
+    core_grid = [2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0]
+    uncore_grid = list(platform.uncore.frequencies())[::4]
+
+    def run():
+        results = {}
+        for kernel in ("gemm", "mvt"):
+            scaled = _scaled_model(kernel, constants, platform)
+            best, _ = joint_search(scaled, core_grid, uncore_grid)
+            results[kernel] = best
+        return results
+
+    results = benchmark(run)
+    print(banner("extension: joint core+uncore EDP optimum (RPL)"))
+    print(
+        format_table(
+            ["kernel", "f_core (GHz)", "f_uncore (GHz)"],
+            [
+                (k, f"{b.f_core_ghz:.1f}", f"{b.f_uncore_ghz:.1f}")
+                for k, b in results.items()
+            ],
+        )
+    )
+    gemm = results["gemm"]
+    mvt = results["mvt"]
+    # CB gemm: the uncore cap lands well below the BB kernel's
+    assert gemm.f_uncore_ghz < mvt.f_uncore_ghz
+    # BB mvt: lowering the core clock is nearly free, the optimizer uses it
+    assert mvt.f_core_ghz <= gemm.f_core_ghz

@@ -1,0 +1,92 @@
+"""Fig. 1: execution time, energy and EDP across uncore frequency caps.
+
+Regenerates the motivating sweep for representative kernels -- conv2d and
+2mm (compute-bound), gemver and mvt (bandwidth-bound) -- on RPL-sim.  The
+paper's shape: CB kernels reach minimum EDP well below the peak uncore
+frequency, while BB kernels' optima sit at intermediate-to-high frequencies
+(near bandwidth saturation), and BB execution time keeps improving with
+frequency while CB time is nearly flat.
+"""
+
+import pytest
+
+from _tables import banner, format_table
+from repro.experiments import frequency_sweep
+from repro.hw import get_platform
+
+PLATFORM = "rpl"
+CB_KERNELS = ("conv2d_alexnet", "2mm")
+BB_KERNELS = ("gemver", "mvt")
+
+
+def _sweep_rows(kernel):
+    rows = frequency_sweep(kernel, PLATFORM)
+    best_edp = min(rows, key=lambda r: r[3])
+    best_energy = min(rows, key=lambda r: r[2])
+    return rows, best_edp, best_energy
+
+
+def _report(kernel):
+    rows, best_edp, best_energy = _sweep_rows(kernel)
+    print(banner(f"Fig. 1 sweep: {kernel} on {PLATFORM}"))
+    print(
+        format_table(
+            ["f_c (GHz)", "time (us)", "energy (mJ)", "EDP (nJ*s)"],
+            [
+                (
+                    f"{f:.1f}",
+                    f"{t * 1e6:.1f}",
+                    f"{e * 1e3:.3f}",
+                    f"{edp * 1e9:.3f}",
+                )
+                for f, t, e, edp in rows
+            ],
+        )
+    )
+    print(
+        f"min-EDP cap: {best_edp[0]:.1f} GHz; "
+        f"min-energy cap: {best_energy[0]:.1f} GHz"
+    )
+    return rows, best_edp, best_energy
+
+
+@pytest.mark.parametrize("kernel", CB_KERNELS)
+def test_fig1_compute_bound_sweep(benchmark, kernel):
+    rows, best_edp, _ = benchmark(_sweep_rows, kernel)
+    _report(kernel)
+    platform = get_platform(PLATFORM)
+    f_max = platform.uncore.f_max_ghz
+    # CB: optimum well below peak, and time nearly flat across the range.
+    assert best_edp[0] <= 0.7 * f_max
+    t_min_f = rows[0][1]
+    t_max_f = rows[-1][1]
+    assert t_min_f / t_max_f < 1.35  # <35% slowdown even at the lowest cap
+
+
+@pytest.mark.parametrize("kernel", BB_KERNELS)
+def test_fig1_bandwidth_bound_sweep(benchmark, kernel):
+    rows, best_edp, best_energy = benchmark(_sweep_rows, kernel)
+    _report(kernel)
+    platform = get_platform(PLATFORM)
+    f_sat = platform.bandwidth_saturation_freq()
+    # BB: optimum at intermediate/high frequency, around saturation.
+    assert abs(best_edp[0] - f_sat) <= 0.9
+    assert best_edp[0] >= 0.5 * platform.uncore.f_max_ghz
+    # energy optimum at or below the EDP optimum (paper Fig. 1 annotation)
+    assert best_energy[0] <= best_edp[0] + 0.05
+    # BB time keeps improving with frequency (>20% faster at the top)
+    assert rows[0][1] / rows[-1][1] > 1.2
+
+
+def test_fig1_cb_vs_bb_optima_ordering(benchmark):
+    def optima():
+        cb = [_sweep_rows(k)[1][0] for k in CB_KERNELS]
+        bb = [_sweep_rows(k)[1][0] for k in BB_KERNELS]
+        return cb, bb
+
+    cb, bb = benchmark(optima)
+    print(banner("Fig. 1: EDP-optimal caps"))
+    for kernel, f in zip(CB_KERNELS + BB_KERNELS, cb + bb):
+        print(f"  {kernel:<16} {f:.1f} GHz")
+    # every CB optimum sits below every BB optimum
+    assert max(cb) < min(bb)

@@ -1,0 +1,74 @@
+"""Fig. 5: CB/BB phase changes of sdpa across torch/linalg/affine dialects.
+
+The BERT scaled-dot-product-attention op is characterized at every dialect
+granularity.  The paper's finding: one coarse torch-level phase hides a
+linalg-level structure of CB matmuls around a run of seven bandwidth-bound
+pointwise/reduction ops (CB -> BB* -> CB), motivating linalg-granularity
+capping.
+"""
+
+import pytest
+
+from _tables import banner, format_table
+from repro.benchsuite import get_benchmark
+from repro.hw import get_platform
+from repro.mlpolyufc import phase_string, phase_transitions
+from repro.mlpolyufc.phases import longest_run
+from repro.pipeline import get_constants, polyufc_compile
+
+PLATFORM = "rpl"
+
+
+def _characterize(granularity):
+    platform = get_platform(PLATFORM)
+    module = get_benchmark("sdpa_bert").module()
+    result = polyufc_compile(
+        module, platform, constants=get_constants(platform),
+        granularity=granularity,
+    )
+    return result
+
+
+def test_fig5_linalg_phase_structure(benchmark):
+    result = benchmark(_characterize, "linalg")
+    labels = result.boundedness_sequence()
+    names = [unit.name for unit in result.units]
+    print(banner("Fig. 5: sdpa (BERT) at linalg granularity"))
+    print(
+        format_table(
+            ["unit", "OI (FpB)", "class"],
+            [
+                (name, f"{unit.oi_fpb:.2f}", str(unit.boundedness))
+                for name, unit in zip(names, result.units)
+            ],
+        )
+    )
+    print(f"phase string: {phase_string(labels)}")
+    # two CB batched matmuls around a BB* run
+    assert labels[1] == "CB" and labels[-1] == "CB"
+    middle = labels[2:-1]
+    assert all(label == "BB" for label in middle)
+    # the paper: "the middle BB* section spans 7 linalg Ops in length"
+    assert longest_run(labels, "BB") == 7
+
+
+def test_fig5_torch_granularity_blurs_phases(benchmark):
+    result = benchmark(_characterize, "torch")
+    labels = result.boundedness_sequence()
+    print(banner("Fig. 5: sdpa (BERT) at torch granularity"))
+    print(f"phase string: {phase_string(labels)}")
+    # the whole sdpa op collapses into a single capping unit: no visible
+    # phase changes at torch level (the coarse/imprecise control the paper
+    # warns about)
+    assert len(labels) == 1
+    assert phase_transitions(labels) == 0
+
+
+def test_fig5_affine_granularity_matches_linalg_counts(benchmark):
+    result = benchmark(_characterize, "affine")
+    labels = result.boundedness_sequence()
+    print(banner("Fig. 5: sdpa (BERT) at affine granularity"))
+    print(f"phase string: {phase_string(labels)}  ({len(labels)} nests)")
+    # every linalg op lowered to >= 1 affine nest; sdpa decomposes into 10
+    assert len(labels) >= 10
+    assert phase_transitions(labels) >= 3

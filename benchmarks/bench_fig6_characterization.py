@@ -1,0 +1,132 @@
+"""Fig. 6: static roofline characterization vs hardware measurements.
+
+(a) the Tab. II ML kernels on BDW-sim and RPL-sim: statically predicted
+OI/class against the class measured from hardware counters, plus the
+performance-estimate error; (b) the 22-kernel PolyBench subset on RPL-sim
+with the paper's 13 CB / 9 BB split.
+
+Shape targets: every evaluation kernel on RPL is classified correctly
+(Sec. VII-D), conv2d's performance estimate is within a small error of the
+measurement (paper: <7 % for ConvNeXt), and characterizations shift from
+BB toward CB going BDW -> RPL (bigger LLC, more bandwidth).
+"""
+
+import pytest
+
+from _tables import banner, format_table
+from repro.benchsuite import ml_benchmarks, paper22_names
+from repro.experiments import kernel_report
+from repro.hw import execute_fixed, get_platform
+from repro.pipeline import get_constants
+
+
+def _hw_class(report, platform):
+    """Class from hardware counters: measured OI vs the platform balance."""
+    total_flops = report.total_flops
+    dram = sum(
+        unit.dram_fetch_bytes_hw + unit.dram_writeback_bytes_hw
+        for unit in report.units
+    )
+    oi_hw = total_flops / dram if dram else float("inf")
+    return ("CB" if oi_hw >= platform.machine_balance_fpb() else "BB"), oi_hw
+
+
+def _characterize_platform(platform_name, kernels):
+    platform = get_platform(platform_name)
+    rows = []
+    for kernel in kernels:
+        report = kernel_report(kernel, platform_name)
+        hw_label, oi_hw = _hw_class(report, platform)
+        rows.append((kernel, report.boundedness, report.oi_model, hw_label, oi_hw))
+    return rows
+
+
+def test_fig6a_ml_kernels_both_platforms(benchmark):
+    kernels = ml_benchmarks()
+
+    def run():
+        return {
+            name: _characterize_platform(name, kernels)
+            for name in ("bdw", "rpl")
+        }
+
+    by_platform = benchmark(run)
+    for platform_name, rows in by_platform.items():
+        print(banner(f"Fig. 6(a): ML kernels on {platform_name}"))
+        print(
+            format_table(
+                ["kernel", "static", "OI est", "hardware", "OI meas"],
+                [
+                    (k, s, f"{oi_s:.2f}", h, f"{oi_h:.2f}")
+                    for k, s, oi_s, h, oi_h in rows
+                ],
+            )
+        )
+    # RPL: all ML kernels classified correctly (paper Sec. VII-D)
+    rpl = by_platform["rpl"]
+    assert all(static == hw for _, static, _, hw, _ in rpl)
+    # BDW -> RPL shift: at least as many CB kernels on RPL as on BDW
+    cb_bdw = sum(1 for _, s, *_ in by_platform["bdw"] if s == "CB")
+    cb_rpl = sum(1 for _, s, *_ in rpl if s == "CB")
+    assert cb_rpl >= cb_bdw
+
+
+def test_fig6b_polybench_split_on_rpl(benchmark):
+    rows = benchmark(_characterize_platform, "rpl", paper22_names())
+    print(banner("Fig. 6(b): PolyBench-22 on RPL"))
+    print(
+        format_table(
+            ["kernel", "static", "OI est", "hardware", "OI meas"],
+            [
+                (k, s, f"{oi_s:.2f}", h, f"{oi_h:.2f}")
+                for k, s, oi_s, h, oi_h in rows
+            ],
+        )
+    )
+    cb = [k for k, s, *_ in rows if s == "CB"]
+    bb = [k for k, s, *_ in rows if s == "BB"]
+    print(f"split: {len(cb)} CB / {len(bb)} BB")
+    # the paper's split: 13 CB, 9 BB
+    assert len(cb) == 13
+    assert len(bb) == 9
+    # classification agrees with hardware on RPL
+    matches = sum(1 for _, s, _, h, _ in rows if s == h)
+    assert matches == len(rows)
+
+
+def test_fig6_perf_estimate_error_conv2d(benchmark):
+    """Performance estimate vs 'measured' performance for conv2d."""
+    platform = get_platform("rpl")
+    constants = get_constants(platform)
+
+    def run():
+        from repro.model.parametric import KernelSummary, PolyUFCModel
+
+        report = kernel_report("conv2d_convnext", "rpl")
+        errors = []
+        f = platform.uncore.f_max_ghz
+        for unit in report.units:
+            if unit.omega == 0:
+                continue
+            summary = KernelSummary(
+                unit.name, unit.omega, unit.q_dram_model,
+                unit.model_dram_lines, tuple(unit.model_level_bytes),
+                unit.cores_fraction,
+            )
+            model = PolyUFCModel(constants, summary)
+            run_hw = execute_fixed(
+                platform, unit.workload(platform.threads), f
+            )
+            measured = unit.omega / run_hw.time_s
+            predicted = model.perf_flops(f)
+            errors.append(abs(predicted - measured) / measured)
+        return errors
+
+    errors = benchmark(run)
+    print(banner("Fig. 6: conv2d (ConvNeXt) performance estimate error"))
+    for index, err in enumerate(errors):
+        print(f"  unit {index}: {err * 100:.1f}%")
+    # paper: estimates differ by < 7% from hardware for conv2d (ConvNeXt);
+    # our simulated substrate tolerates a somewhat wider band
+    assert min(errors) < 0.15
+    assert max(errors) < 0.5

@@ -1,0 +1,109 @@
+"""Fig. 7: time, energy and EDP of PolyUFC caps vs the Intel-UFS-like driver.
+
+For every Tab. II kernel and the PolyBench subset, on both platforms, the
+PolyUFC-capped binary (static per-kernel caps + measured per-cap overhead)
+is compared against the reactive uncore-scaling driver baseline.
+
+Shape targets (Sec. VII-E): compute-bound kernels gain the most EDP (up to
+~42 % in the paper; conv2d/WideResNet ~13 %); bandwidth-bound kernels also
+profit; CB performance loss stays small; the PolyBench geomean EDP improves
+on both platforms (paper: 12 % BDW, 10.6 % RPL).
+"""
+
+import pytest
+
+from _tables import banner, format_table, geomean, pct
+from repro.benchsuite import ml_benchmarks, paper22_names
+from repro.experiments import baseline_comparison, kernel_report
+
+ALL_KERNELS = sorted(set(paper22_names()) | set(ml_benchmarks()))
+
+
+def _compare_all(platform):
+    rows = []
+    for kernel in ALL_KERNELS:
+        report = kernel_report(kernel, platform)
+        comparison = baseline_comparison(kernel, platform)
+        rows.append(
+            {
+                "kernel": kernel,
+                "class": report.boundedness,
+                "speedup": comparison.speedup,
+                "energy_gain": comparison.energy_gain,
+                "edp_gain": comparison.edp_gain,
+            }
+        )
+    return rows
+
+
+def _print_rows(platform, rows):
+    print(banner(f"Fig. 7: PolyUFC vs UFS-driver baseline on {platform}"))
+    print(
+        format_table(
+            ["kernel", "class", "time", "energy", "EDP"],
+            [
+                (
+                    r["kernel"],
+                    r["class"],
+                    pct(r["speedup"]),
+                    pct(r["energy_gain"]),
+                    pct(r["edp_gain"]),
+                )
+                for r in rows
+            ],
+        )
+    )
+    poly = [r for r in rows if r["kernel"] in set(paper22_names())]
+    geo = geomean([r["edp_gain"] for r in poly])
+    print(f"PolyBench geomean EDP improvement: {pct(geo)}")
+    return geo
+
+
+@pytest.mark.parametrize("platform", ["rpl", "bdw"])
+def test_fig7_edp_comparison(benchmark, platform):
+    rows = benchmark(_compare_all, platform)
+    geo = _print_rows(platform, rows)
+
+    cb = [r for r in rows if r["class"] == "CB"]
+    bb = [r for r in rows if r["class"] == "BB"]
+    best_cb = max(r["edp_gain"] for r in cb)
+    best_bb = max(r["edp_gain"] for r in bb)
+    # CB kernels see the largest relative gains (paper: up to 42 %)
+    assert (1 - 1 / best_cb) * 100 >= 15.0
+    # BB kernels also profit (paper: "BB programs also profit significantly")
+    assert (1 - 1 / best_bb) * 100 >= 3.0
+    # PolyBench geomean EDP improves (paper: 12 % BDW / 10.6 % RPL)
+    assert (1 - 1 / geo) * 100 >= 3.0
+    # majority of kernels improve
+    improving = sum(1 for r in rows if r["edp_gain"] > 1.0)
+    assert improving >= 0.7 * len(rows)
+
+
+@pytest.mark.parametrize("platform", ["rpl"])
+def test_fig7_performance_energy_tradeoff(benchmark, platform):
+    """Sec. VII-E tradeoff: small CB perf loss buys large energy savings."""
+    rows = benchmark(_compare_all, platform)
+    cb = [r for r in rows if r["class"] == "CB"]
+    print(banner(f"Fig. 7 tradeoff on {platform} (CB kernels)"))
+    print(
+        format_table(
+            ["kernel", "perf loss", "energy saving"],
+            [
+                (
+                    r["kernel"],
+                    f"{(1 - r['speedup']) * 100:.1f}%",
+                    f"{(1 - 1 / r['energy_gain']) * 100:.1f}%",
+                )
+                for r in cb
+            ],
+        )
+    )
+    # the best CB kernels trade <= ~5 % performance for >= 20 % energy
+    frugal = [
+        r for r in cb
+        if (1 - r["speedup"]) <= 0.05
+        and (1 - 1 / r["energy_gain"]) >= 0.20
+    ]
+    assert len(frugal) >= 3
+    # every CB kernel saves energy
+    assert all(r["energy_gain"] > 1.0 for r in cb)

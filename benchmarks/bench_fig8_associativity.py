@@ -1,0 +1,114 @@
+"""Fig. 8: estimated EDP under set- vs fully-associative PolyUFC-CM vs HW.
+
+For gemm on BDW-sim and 2mm on RPL-sim -- kernels with real conflict misses
+-- the Sec. V model's EDP-vs-frequency curve is computed twice (PolyUFC-CM
+in set-associative and fully-associative mode) and compared against the
+hardware measurement.  The paper's point: the set-associative configuration
+tracks the hardware curve more closely and selects a better cap.
+"""
+
+import math
+
+import pytest
+
+from _tables import banner, format_table
+from repro.experiments import kernel_report
+from repro.hw import execute_fixed, get_platform
+from repro.model.parametric import KernelSummary, PolyUFCModel
+from repro.pipeline import get_constants
+
+CASES = [("gemm", "bdw"), ("2mm", "rpl")]
+
+
+def _model_curve(report, constants, freqs):
+    """Whole-kernel model EDP at each frequency (sum over units)."""
+    models = []
+    for unit in report.units:
+        summary = KernelSummary(
+            unit.name, unit.omega, unit.q_dram_model, unit.model_dram_lines,
+            tuple(unit.model_level_bytes), unit.cores_fraction,
+        )
+        models.append(PolyUFCModel(constants, summary))
+    curve = []
+    for f in freqs:
+        time_s = sum(m.time_s(f) for m in models)
+        energy = sum(m.energy_j(f) for m in models)
+        curve.append(energy * time_s)
+    return curve
+
+
+def _hw_curve(report, platform, freqs):
+    curve = []
+    for f in freqs:
+        time_s = 0.0
+        energy = 0.0
+        for unit in report.units:
+            run = execute_fixed(platform, unit.workload(platform.threads), f)
+            time_s += run.time_s
+            energy += run.energy_j
+        curve.append(energy * time_s)
+    return curve
+
+
+def _log_rmse(curve, reference):
+    return math.sqrt(
+        sum(
+            (math.log(a) - math.log(b)) ** 2
+            for a, b in zip(curve, reference)
+        )
+        / len(curve)
+    )
+
+
+@pytest.mark.parametrize("kernel,platform_name", CASES)
+def test_fig8_associativity(benchmark, kernel, platform_name):
+    platform = get_platform(platform_name)
+    constants = get_constants(platform)
+    freqs = platform.uncore.frequencies()[::2]
+
+    def run():
+        sa_report = kernel_report(kernel, platform_name, set_associative=True)
+        fa_report = kernel_report(kernel, platform_name, set_associative=False)
+        sa = _model_curve(sa_report, constants, freqs)
+        fa = _model_curve(fa_report, constants, freqs)
+        hw = _hw_curve(sa_report, platform, freqs)
+        return sa, fa, hw
+
+    sa, fa, hw = benchmark(run)
+    print(banner(f"Fig. 8: {kernel} on {platform_name}"))
+    print(
+        format_table(
+            ["f_c", "SA model EDP", "FA model EDP", "HW EDP"],
+            [
+                (f"{f:.1f}", f"{a:.3e}", f"{b:.3e}", f"{h:.3e}")
+                for f, a, b, h in zip(freqs, sa, fa, hw)
+            ],
+        )
+    )
+    err_sa = _log_rmse(sa, hw)
+    err_fa = _log_rmse(fa, hw)
+    print(f"log-RMSE vs HW: set-assoc {err_sa:.3f}  fully-assoc {err_fa:.3f}")
+    # the set-associative model must not be further from hardware than the
+    # fully-associative simplification
+    assert err_sa <= err_fa * 1.05
+    # the model's argmin and hardware's argmin land in the same region
+    f_sa = freqs[sa.index(min(sa))]
+    f_hw = freqs[hw.index(min(hw))]
+    assert abs(f_sa - f_hw) <= 1.2
+
+
+def test_fig8_conflict_misses_visible(benchmark):
+    """The SA/FA split exists because these kernels have conflict misses."""
+
+    def run():
+        sa = kernel_report("gemm", "bdw", set_associative=True)
+        fa = kernel_report("gemm", "bdw", set_associative=False)
+        return sa, fa
+
+    sa, fa = benchmark(run)
+    sa_misses = sum(u.q_dram_model for u in sa.units)
+    fa_misses = sum(u.q_dram_model for u in fa.units)
+    print(banner("Fig. 8: gemm (BDW) Q_DRAM model"))
+    print(f"  set-assoc Q_DRAM:   {sa_misses} B")
+    print(f"  fully-assoc Q_DRAM: {fa_misses} B")
+    assert sa_misses >= fa_misses

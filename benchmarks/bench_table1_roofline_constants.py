@@ -1,0 +1,56 @@
+"""Tab. I: performance/power roofline constants, fitted per platform.
+
+Prints every fitted constant next to the simulated platform's ground truth
+where one exists, and asserts the one-time microbenchmark calibration
+recovers the machine within reasonable error.
+"""
+
+import pytest
+
+from _tables import banner, format_table
+from repro.hw import get_platform
+from repro.pipeline import get_constants
+
+
+@pytest.mark.parametrize("platform_name", ["bdw", "rpl"])
+def test_table1_roofline_constants(benchmark, platform_name):
+    platform = get_platform(platform_name)
+    constants = benchmark(get_constants, platform)
+    f_max = platform.uncore.f_max_ghz
+    rows = [
+        ("t_FPU (s/flop)", f"{constants.t_fpu:.3e}",
+         f"{1.0 / platform.peak_flops_per_sec():.3e}"),
+        ("t_byte (s/B)", f"{constants.t_byte:.3e}",
+         f"{1.0 / platform.dram_bw_max:.3e}"),
+        ("B^t_DRAM (FpB)", f"{constants.b_t_dram:.2f}",
+         f"{platform.machine_balance_fpb():.2f}"),
+        ("p_con (W)", f"{constants.p_con:.1f}", f"{platform.p_constant_w:.1f}"),
+        ("e_FPU (J/flop)", f"{constants.e_fpu:.3e}", "-"),
+        ("p^_FPU (W)", f"{constants.p_hat_fpu:.1f}", "-"),
+        ("e_byte(f_max) (J/B)", f"{constants.e_byte_fit(f_max):.3e}", "-"),
+        ("P^_DRAM(f_max) (W)", f"{constants.p_hat_dram_fit(f_max):.1f}", "-"),
+        ("M^t(f_max) (s/line)",
+         f"{constants.miss_penalty_fit(f_max):.3e}", "-"),
+        ("f_sat (GHz)", f"{constants.saturation_freq():.2f}",
+         f"{platform.bandwidth_saturation_freq():.2f}"),
+        ("overlap rho", f"{constants.overlap_rho:.3f}",
+         f"{platform.overlap_rho:.3f}"),
+    ]
+    print(banner(f"Tab. I roofline constants: {platform_name}"))
+    print(format_table(["constant", "fitted", "ground truth"], rows))
+
+    # calibration quality checks
+    true_peak = platform.peak_flops_per_sec()
+    assert abs(1.0 / constants.t_fpu - true_peak) / true_peak < 0.05
+    assert abs(constants.p_con - platform.p_constant_w) < 0.2 * (
+        platform.p_constant_w
+    )
+    assert (
+        abs(constants.saturation_freq() - platform.bandwidth_saturation_freq())
+        < 0.8
+    )
+    assert abs(constants.overlap_rho - platform.overlap_rho) < 0.15
+    # fitted balance within a factor of ~2 of the raw peak-based balance
+    # (the fit measures *effective* bandwidth through the hierarchy)
+    ratio = constants.b_t_dram / platform.machine_balance_fpb()
+    assert 0.8 < ratio < 2.5

@@ -1,0 +1,50 @@
+"""Tab. III: the simulated microarchitectures and their frequency domains."""
+
+from _tables import banner, format_table
+from repro.hw import get_platform
+
+
+def test_table3_platforms(benchmark):
+    def rows():
+        result = []
+        for name in ("bdw", "rpl"):
+            platform = get_platform(name)
+            result.append(
+                (
+                    platform.name,
+                    platform.released,
+                    f"{platform.cores}C/{platform.threads}T",
+                    f"{platform.core_base_ghz}-{platform.core_max_ghz}",
+                    f"{platform.uncore.f_min_ghz}-{platform.uncore.f_max_ghz}",
+                    f"{platform.hierarchy.llc.size_bytes // 1024} KiB",
+                    "yes" if platform.has_uncore_rapl else "no",
+                )
+            )
+        return result
+
+    table = benchmark(rows)
+    print(banner("Tab. III: simulated platforms"))
+    print(
+        format_table(
+            ["arch", "released", "CPU", "core (GHz)", "uncore (GHz)",
+             "LLC", "uncore RAPL"],
+            table,
+        )
+    )
+    bdw = get_platform("bdw")
+    rpl = get_platform("rpl")
+    # the paper's ranges
+    assert (bdw.uncore.f_min_ghz, bdw.uncore.f_max_ghz) == (1.2, 2.8)
+    assert (rpl.uncore.f_min_ghz, rpl.uncore.f_max_ghz) == (0.8, 4.6)
+    # 0.1 GHz search precision; RPL exposes ~39 settable steps (Sec. VII-F)
+    assert len(rpl.uncore.frequencies()) == 39
+    assert len(bdw.uncore.frequencies()) == 17
+    # RPL's uncore subsystem is bigger in every way
+    assert rpl.hierarchy.llc.size_bytes > bdw.hierarchy.llc.size_bytes
+    assert rpl.dram_bw_max > bdw.dram_bw_max
+    # the BDW limitation the paper mentions (footnote 15)
+    assert not bdw.has_uncore_rapl
+    assert rpl.has_uncore_rapl
+    # the measured cap overheads (Sec. VII-F)
+    assert abs(bdw.cap_overhead_s - 35e-6) < 1e-9
+    assert abs(rpl.cap_overhead_s - 21e-6) < 1e-9

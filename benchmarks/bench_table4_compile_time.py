@@ -1,0 +1,76 @@
+"""Tab. IV: compile-time breakdown of the PolyUFC flow per benchmark.
+
+Stages: preprocessing (statement extraction / lowering), Pluto (tiling +
+parallelization), PolyUFC-CM (cache analysis + OI), and steps 4-6
+(characterization, model, search, codegen).  The paper's headline
+observation -- PolyUFC-CM dominates total compile time by orders of
+magnitude -- must hold here too, since the cache model is the expensive
+polyhedral-counting stage in both implementations.
+"""
+
+import pytest
+
+from _tables import banner, format_table
+from repro.benchsuite import ml_benchmarks, paper22_names
+from repro.experiments import kernel_report
+
+KERNELS = sorted(set(paper22_names()) | set(ml_benchmarks()))
+
+
+def test_table4_compile_time_breakdown(benchmark):
+    def rows():
+        result = []
+        for kernel in KERNELS:
+            report = kernel_report(kernel, "bdw")
+            t = report.timings_ms
+            result.append(
+                (
+                    kernel,
+                    f"{t['preprocess']:.0f}",
+                    f"{t['pluto']:.0f}",
+                    f"{t['polyufc_cm']:.0f}",
+                    f"{t['steps_4_6']:.0f}",
+                    f"{sum(t.values()):.0f}",
+                )
+            )
+        return result
+
+    table = benchmark(rows)
+    print(banner("Tab. IV: compile-time breakdown (ms, BDW config)"))
+    print(
+        format_table(
+            ["kernel", "preprocess", "pluto", "polyufc-cm", "steps 4-6",
+             "total"],
+            table,
+        )
+    )
+    # PolyUFC-CM dominates compilation for the vast majority of kernels
+    dominated = 0
+    for kernel in KERNELS:
+        t = kernel_report(kernel, "bdw").timings_ms
+        others = t["preprocess"] + t["pluto"] + t["steps_4_6"]
+        if t["polyufc_cm"] > others:
+            dominated += 1
+    assert dominated >= 0.8 * len(KERNELS)
+
+
+def test_table4_timeout_resets_cap_to_max(benchmark):
+    """Sec. VII-F: kernels whose CM analysis overshoots get f_c = f_max."""
+    from repro.benchsuite import get_benchmark
+    from repro.hw import get_platform
+    from repro.pipeline import get_constants, polyufc_compile
+
+    platform = get_platform("rpl")
+    constants = get_constants(platform)
+
+    def run():
+        module = get_benchmark("gemm").module()
+        return polyufc_compile(
+            module, platform, constants=constants, cm_timeout_s=0.0
+        )
+
+    result = benchmark(run)
+    assert result.timed_out
+    assert all(
+        abs(cap - platform.uncore.f_max_ghz) < 1e-9 for cap in result.caps()
+    )

@@ -1,0 +1,14 @@
+"""Pytest configuration for the table/figure harnesses.
+
+Every harness prints the regenerated table/series to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and asserts the
+paper's qualitative shape.  Heavy artifacts come from the shared disk cache
+(:mod:`repro.experiments`); the first run populates it.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling helper module importable when pytest sets rootdir
+# elsewhere.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

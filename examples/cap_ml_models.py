@@ -1,0 +1,40 @@
+"""Cap the Tab. II machine-learning kernels and race the stock driver.
+
+For each vision/NLP kernel: compile with PolyUFC, then run the capped
+binary against the reactive uncore-scaling baseline on the simulated
+hardware and report time / energy / EDP improvements (the Fig. 7 numbers).
+
+Run:  python examples/cap_ml_models.py [bdw|rpl]
+"""
+
+import sys
+
+from repro.benchsuite import get_benchmark, ml_benchmarks
+from repro.experiments import baseline_comparison, kernel_report
+
+platform = sys.argv[1] if len(sys.argv) > 1 else "rpl"
+print(f"PolyUFC vs Intel-UFS-like baseline on {platform}\n")
+print(
+    f"{'kernel':<20}{'source':<12}{'class':>6}{'cap(s)':>14}"
+    f"{'time':>8}{'energy':>8}{'EDP':>8}"
+)
+
+for name in ml_benchmarks():
+    spec = get_benchmark(name)
+    report = kernel_report(name, platform)
+    comparison = baseline_comparison(name, platform)
+    caps = "/".join(
+        f"{c:.1f}" for c in sorted(set(round(x, 1) for x in report.caps()))
+    )
+
+    def improvement(gain):
+        return f"{(1 - 1 / gain) * 100:+.1f}%"
+
+    print(
+        f"{name:<20}{spec.source:<12}{report.boundedness:>6}{caps:>14}"
+        f"{improvement(comparison.speedup):>8}"
+        f"{improvement(comparison.energy_gain):>8}"
+        f"{improvement(comparison.edp_gain):>8}"
+    )
+
+print("\npositive = PolyUFC better than the baseline driver")

@@ -1,0 +1,42 @@
+"""Characterize the PolyBench suite against the RPL-sim rooflines.
+
+Reproduces the Sec. VII-D study interactively: static OI + CB/BB class per
+kernel, compared with the hardware-counter measurement, and the 13/9 split
+over the paper's 22-kernel subset.
+
+Run:  python examples/characterize_polybench.py
+(The first run simulates every kernel and takes a few minutes; results are
+cached under .polyufc_cache/.)
+"""
+
+from repro.benchsuite import paper22_names
+from repro.experiments import kernel_report
+from repro.hw import get_platform
+
+platform = get_platform("rpl")
+print(f"characterizing {len(paper22_names())} PolyBench kernels on "
+      f"{platform.name} (true balance "
+      f"{platform.machine_balance_fpb():.2f} FpB)\n")
+
+print(f"{'kernel':<14}{'OI est':>9}{'class':>7}{'OI meas':>10}{'hw':>5}")
+cb = bb = 0
+for name in paper22_names():
+    report = kernel_report(name, "rpl")
+    dram_hw = sum(
+        u.dram_fetch_bytes_hw + u.dram_writeback_bytes_hw
+        for u in report.units
+    )
+    oi_hw = report.total_flops / dram_hw if dram_hw else float("inf")
+    hw_label = (
+        "CB" if oi_hw >= platform.machine_balance_fpb() else "BB"
+    )
+    print(
+        f"{name:<14}{report.oi_model:>9.2f}{report.boundedness:>7}"
+        f"{oi_hw:>10.2f}{hw_label:>5}"
+    )
+    if report.boundedness == "CB":
+        cb += 1
+    else:
+        bb += 1
+
+print(f"\nsplit: {cb} CB / {bb} BB  (paper: 13 CB / 9 BB on RPL)")

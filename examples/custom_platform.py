@@ -1,0 +1,69 @@
+"""Retargeting PolyUFC to a new microarchitecture.
+
+The paper's framework is retargetable: everything the flow needs from a
+machine is (1) a platform description and (2) the one-time roofline
+microbenchmark calibration.  This example defines a fictional low-power
+edge CPU, calibrates it, and shows how the same kernel gets a different
+cap than on RPL-sim.
+
+Run:  python examples/custom_platform.py
+"""
+
+from repro import polyufc_compile
+from repro.benchsuite import get_benchmark
+from repro.cache.config import CacheHierarchy, CacheLevelConfig
+from repro.hw import get_platform
+from repro.hw.platform import PlatformSpec, UncoreSpec
+from repro.roofline import calibrate_platform
+
+edge_sim = PlatformSpec(
+    name="edge_sim",
+    arch="edge",
+    released=2024,
+    cores=4,
+    threads=4,
+    core_base_ghz=2.0,
+    core_max_ghz=2.6,
+    uncore=UncoreSpec(0.6, 2.0),
+    hierarchy=CacheHierarchy(
+        (
+            CacheLevelConfig("L1", 8 * 1024, 64, 8),
+            CacheLevelConfig("L2", 32 * 1024, 64, 8),
+            CacheLevelConfig("LLC", 128 * 1024, 64, 8),
+        )
+    ),
+    flops_per_cycle=2.0,
+    l2_bytes_per_sec=40e9,
+    llc_bw_base=6e9,
+    llc_bytes_per_sec_per_ghz=8e9,
+    dram_bw_base=3.0e9,
+    dram_bw_per_ghz=2.5e9,
+    dram_bw_max=7.0e9,
+    dram_lat_a=150e-9,
+    dram_lat_b=60e-9,
+    mem_level_parallelism=8.0,
+    overlap_rho=0.3,
+    prefetch_hiding=0.4,
+    p_constant_w=3.0,
+    p_core_dyn_w=1.5,
+    p_uncore_coeffs=(0.4, 0.5, 0.6),
+    uncore_idle_fraction=0.4,
+    e_dram_per_byte=1.5e-10,
+    cap_overhead_s=40e-6,
+    has_uncore_rapl=True,
+)
+
+print("calibrating edge_sim rooflines (one-time microbenchmarks)...")
+constants = calibrate_platform(edge_sim)
+print(f"  machine balance: {constants.b_t_dram:.2f} FpB")
+print(f"  bandwidth saturation: {constants.saturation_freq():.2f} GHz\n")
+
+for platform, consts in ((edge_sim, constants), (get_platform("rpl"), None)):
+    module = get_benchmark("doitgen").module()
+    result = polyufc_compile(module, platform, constants=consts)
+    unit = result.units[0]
+    print(
+        f"{platform.name:<16} doitgen: OI={unit.oi_fpb:.2f} "
+        f"{unit.boundedness}, cap = {result.caps()[0]:.1f} GHz "
+        f"(range {platform.uncore.f_min_ghz}-{platform.uncore.f_max_ghz})"
+    )

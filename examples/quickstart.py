@@ -1,0 +1,38 @@
+"""Quickstart: compile one kernel with PolyUFC and inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import get_platform, polyufc_compile
+from repro.benchsuite import get_benchmark
+from repro.ir import print_module
+
+platform = get_platform("rpl")  # the simulated Raptor-Lake machine
+module = get_benchmark("gemm").module()
+
+# The whole flow: lower -> tile+parallelize (Pluto) -> PolyUFC-CM cache
+# analysis -> OI -> roofline characterization -> POLYUFC-SEARCH -> caps.
+# (The first call also runs the one-time roofline microbenchmarks.)
+result = polyufc_compile(module, platform)
+
+print(f"platform: {platform.name}, uncore "
+      f"{platform.uncore.f_min_ghz}-{platform.uncore.f_max_ghz} GHz")
+print(f"machine balance (fitted): {result.constants.b_t_dram:.2f} FpB\n")
+
+for unit, decision in zip(result.units, result.decisions):
+    print(
+        f"{unit.name:<24} OI = {unit.oi_fpb:7.2f} FpB  "
+        f"{unit.boundedness}  ->  cap {decision.f_cap_ghz:.1f} GHz"
+    )
+
+print("\ncompile-time breakdown (ms):")
+timings = result.timings
+print(f"  preprocess  {timings.preprocess_ms:8.1f}")
+print(f"  pluto       {timings.pluto_ms:8.1f}")
+print(f"  polyufc-cm  {timings.polyufc_cm_ms:8.1f}")
+print(f"  steps 4-6   {timings.steps_4_6_ms:8.1f}")
+
+print("\ncapped module (first lines):")
+text = print_module(result.capped_module)
+print("\n".join(text.splitlines()[:12]))
+print("  ...")

@@ -1,0 +1,10 @@
+"""Shim so ``pip install -e .`` works without network access.
+
+The sandbox has no ``wheel`` package, so PEP 660 editable builds fail; with
+this shim and no ``[build-system]`` table pip falls back to the legacy
+``setup.py develop`` path which needs neither network nor wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""PolyUFC reproduction: polyhedral compilation meets roofline analysis
+for uncore frequency capping.
+
+Reproduction of Shah et al., "PolyUFC: Polyhedral Compilation Meets
+Roofline Analysis for Uncore Frequency Capping" (CGO 2026).  See DESIGN.md
+for the system inventory and EXPERIMENTS.md for the per-table/figure
+results.
+
+Quickstart::
+
+    from repro import polyufc_compile, get_platform
+    from repro.benchsuite import get_benchmark
+
+    platform = get_platform("rpl")
+    result = polyufc_compile(get_benchmark("gemm").module(), platform)
+    for unit, decision in zip(result.units, result.decisions):
+        print(unit.name, unit.boundedness, decision.f_cap_ghz)
+
+Packages:
+
+* :mod:`repro.isllite` -- integer sets/maps (isl + barvinok substitute)
+* :mod:`repro.ir` -- mini-MLIR with torch/linalg/affine dialects
+* :mod:`repro.poly` -- SCoP extraction, dependences, Pluto-lite tiling
+* :mod:`repro.cache` -- PolyUFC-CM and the hardware cache simulator
+* :mod:`repro.roofline` -- performance + power rooflines, microbenchmarks
+* :mod:`repro.model` -- the Sec. V parametric model (Eqns 2-11)
+* :mod:`repro.search` -- POLYUFC-SEARCH cap selection
+* :mod:`repro.mlpolyufc` -- multi-level dialect-aware capping (Sec. VI)
+* :mod:`repro.hw` -- simulated platforms, drivers, counters
+* :mod:`repro.benchsuite` -- PolyBench + Tab. II ML kernels
+* :mod:`repro.experiments` -- cached compile-and-measure driver
+"""
+
+from repro.hw.platform import get_platform
+from repro.pipeline import PolyUFCResult, polyufc_compile, get_constants
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "get_platform",
+    "get_constants",
+    "polyufc_compile",
+    "PolyUFCResult",
+    "__version__",
+]

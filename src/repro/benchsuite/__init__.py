@@ -1,0 +1,28 @@
+"""Benchmark suite: PolyBench kernels and the Tab. II ML-model kernels.
+
+Every benchmark is an IR :class:`~repro.ir.core.Module` builder registered
+in :data:`REGISTRY`.  "Paper" problem sizes are recorded as metadata;
+the modules are built at "sim" sizes scaled down together with the simulated
+platforms' cache hierarchies (see DESIGN.md) so each kernel's boundedness
+class matches the paper's.
+"""
+
+from repro.benchsuite.registry import (
+    BenchmarkSpec,
+    REGISTRY,
+    get_benchmark,
+    list_benchmarks,
+    ml_benchmarks,
+    polybench_benchmarks,
+    paper22_names,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "REGISTRY",
+    "get_benchmark",
+    "list_benchmarks",
+    "ml_benchmarks",
+    "polybench_benchmarks",
+    "paper22_names",
+]

@@ -1,0 +1,99 @@
+"""The Tab. II machine-learning kernels at simulation scale.
+
+Each builder produces a torch-dialect module; the PolyUFC flow lowers it
+through linalg to affine.  Paper problem sizes are recorded in the registry;
+the sim sizes below shrink every dimension proportionally so the kernels
+keep their boundedness class against the scaled platforms (conv2d stays
+high-OI/CB; the LM-head matmuls keep OI ~= batch/2 FpB and stay BB).
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import F32, Module
+from repro.ir.dialects.torch_d import TorchConv2dOp, TorchMatmulOp, TorchSdpaOp
+
+
+def _conv2d(
+    name: str,
+    batch: int,
+    in_ch: int,
+    size: int,
+    out_ch: int,
+    kernel: int,
+    stride: int,
+) -> Module:
+    module = Module(name)
+    image = module.add_buffer("input", (batch, in_ch, size, size), F32)
+    weight = module.add_buffer("weight", (out_ch, in_ch, kernel, kernel), F32)
+    out_size = (size - kernel) // stride + 1
+    output = module.add_buffer(
+        "output", (batch, out_ch, out_size, out_size), F32
+    )
+    module.append(TorchConv2dOp(image, weight, output, (stride, stride)))
+    return module
+
+
+def build_conv2d_alexnet() -> Module:
+    """AlexNet conv1 (paper: 1x3x224x224 * 64x3x11x11, stride 4)."""
+    return _conv2d("conv2d_alexnet", 1, 3, 48, 16, 5, 2)
+
+
+def build_conv2d_convnext() -> Module:
+    """ConvNeXt downsampling conv (paper: 1x384x28x28 * 768x384x2x2)."""
+    return _conv2d("conv2d_convnext", 1, 32, 14, 64, 2, 2)
+
+
+def build_conv2d_wideresnet() -> Module:
+    """WideResNet bottleneck 1x1 conv (paper: 64x1024x7x7 * 2048x1024x1x1)."""
+    return _conv2d("conv2d_wideresnet", 2, 96, 7, 192, 1, 1)
+
+
+def _sdpa(name: str, batch: int, heads: int, seq: int, head_dim: int) -> Module:
+    module = Module(name)
+    shape = (batch, heads, seq, head_dim)
+    q = module.add_buffer("q", shape, F32)
+    k = module.add_buffer("k", shape, F32)
+    v = module.add_buffer("v", shape, F32)
+    o = module.add_buffer("o", shape, F32)
+    module.append(TorchSdpaOp(q, k, v, o))
+    return module
+
+
+def build_sdpa_bert() -> Module:
+    """BERT self-attention (paper: 2x12x128x64)."""
+    return _sdpa("sdpa_bert", 1, 4, 80, 40)
+
+
+def build_sdpa_gemma2() -> Module:
+    """Gemma-2 self-attention (paper: 1x16x7x256)."""
+    return _sdpa("sdpa_gemma2", 1, 8, 7, 64)
+
+
+def _lm_head(name: str, tokens: int, hidden: int, vocab: int) -> Module:
+    module = Module(name)
+    acts = module.add_buffer("acts", (tokens, hidden), F32)
+    weight = module.add_buffer("w", (hidden, vocab), F32)
+    logits = module.add_buffer("logits", (tokens, vocab), F32)
+    module.append(TorchMatmulOp(acts, weight, logits))
+    return module
+
+
+def build_matmul_gpt2() -> Module:
+    """GPT-2 LM-head projection (paper: 4x768x50257)."""
+    return _lm_head("matmul_gpt2", 2, 192, 2048)
+
+
+def build_matmul_llama2() -> Module:
+    """Llama-2 LM-head projection (paper: 13x4096x32000)."""
+    return _lm_head("matmul_llama2", 3, 256, 1536)
+
+
+ML_BUILDERS = {
+    "conv2d_alexnet": build_conv2d_alexnet,
+    "conv2d_convnext": build_conv2d_convnext,
+    "conv2d_wideresnet": build_conv2d_wideresnet,
+    "sdpa_bert": build_sdpa_bert,
+    "sdpa_gemma2": build_sdpa_gemma2,
+    "matmul_gpt2": build_matmul_gpt2,
+    "matmul_llama2": build_matmul_llama2,
+}

@@ -1,0 +1,125 @@
+"""Benchmark registry: specs, paper metadata, and lookup helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.benchsuite.ml_kernels import ML_BUILDERS
+from repro.benchsuite.polybench import POLYBENCH_BUILDERS, SIZES
+from repro.ir.core import Module
+
+#: Paper problem sizes for the Tab. II kernels (metadata only).
+_PAPER_SIZES_ML = {
+    "conv2d_alexnet": "1x3x224x224; 64x3x11x11 (ALEXNET)",
+    "conv2d_convnext": "1x384x28x28; 768x384x2x2 (CONVNEXT)",
+    "conv2d_wideresnet": "64x1024x7x7; 2048x1024x1x1 (WIDERESNET)",
+    "sdpa_bert": "2x12x128x64 (BERT)",
+    "sdpa_gemma2": "1x16x7x256 (GEMMA2)",
+    "matmul_gpt2": "4x768x50257 (GPT2)",
+    "matmul_llama2": "13x4096x32000 (LLAMA2)",
+}
+
+_SOURCES_ML = {
+    "conv2d_alexnet": "ALEXNET",
+    "conv2d_convnext": "CONVNEXT",
+    "conv2d_wideresnet": "WIDERESNET",
+    "sdpa_bert": "BERT",
+    "sdpa_gemma2": "GEMMA2",
+    "matmul_gpt2": "GPT2",
+    "matmul_llama2": "LLAMA2",
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered benchmark."""
+
+    name: str
+    category: str  # "polybench" | "ml"
+    source: str
+    build: Callable[[], Module]
+    paper_sizes: str
+    sim_sizes: str
+
+    def module(self) -> Module:
+        return self.build()
+
+
+def _polybench_specs() -> Dict[str, BenchmarkSpec]:
+    specs = {}
+    for name, builder in POLYBENCH_BUILDERS.items():
+        sim = ", ".join(f"{k}={v}" for k, v in SIZES[name].items())
+        specs[name] = BenchmarkSpec(
+            name=name,
+            category="polybench",
+            source="POLYBENCH",
+            build=builder,
+            paper_sizes="LARGE dataset",
+            sim_sizes=sim,
+        )
+    return specs
+
+
+def _ml_specs() -> Dict[str, BenchmarkSpec]:
+    specs = {}
+    for name, builder in ML_BUILDERS.items():
+        module = builder()
+        sim = "; ".join(
+            f"{buffer.name}:{'x'.join(map(str, buffer.shape))}"
+            for buffer in module.buffers.values()
+        )
+        specs[name] = BenchmarkSpec(
+            name=name,
+            category="ml",
+            source=_SOURCES_ML[name],
+            build=builder,
+            paper_sizes=_PAPER_SIZES_ML[name],
+            sim_sizes=sim,
+        )
+    return specs
+
+
+REGISTRY: Dict[str, BenchmarkSpec] = {**_polybench_specs(), **_ml_specs()}
+
+#: The 22-kernel PolyBench subset used for the paper's RPL characterization
+#: count (13 CB / 9 BB, Sec. VII-D).
+PAPER22 = [
+    # 13 compute-bound on RPL-sim: blas/kernels/solvers matrix-matrix
+    # routines, data-mining kernels, and the low-bandwidth jacobi-1d stencil
+    "gemm", "2mm", "3mm", "syrk", "syr2k", "trmm", "symm",
+    "lu", "cholesky", "durbin", "jacobi-1d", "correlation", "covariance",
+    # 9 bandwidth-bound on RPL-sim: matrix-vector products plus the
+    # memory-intensive adi / deriche / fdtd-2d sweeps
+    "mvt", "gemver", "gesummv", "atax", "bicg", "trisolv",
+    "adi", "deriche", "fdtd-2d",
+]
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def list_benchmarks() -> List[str]:
+    return sorted(REGISTRY)
+
+
+def polybench_benchmarks() -> List[str]:
+    return sorted(
+        name for name, spec in REGISTRY.items() if spec.category == "polybench"
+    )
+
+
+def ml_benchmarks() -> List[str]:
+    return sorted(
+        name for name, spec in REGISTRY.items() if spec.category == "ml"
+    )
+
+
+def paper22_names() -> List[str]:
+    return list(PAPER22)

@@ -1,0 +1,45 @@
+"""Cache substrate: configs, trace generation, simulator, and PolyUFC-CM.
+
+Two cache-behaviour engines share one access-trace representation:
+
+* :mod:`repro.cache.simulator` -- the "hardware": a multi-level inclusive
+  set-associative write-back LRU simulator.  Its miss counts are what the
+  simulated platforms report through PAPI-like counters.
+* :mod:`repro.cache.static_model` -- PolyUFC-CM: the paper's approximate
+  static model (per-set LRU reuse distances, write-allocate + write-through,
+  empty initial cache, no prefetching, OpenMP thread-division heuristic),
+  with both set-associative and fully-associative variants.
+
+The gap between the two is the model error the paper evaluates in Fig. 6
+and Fig. 8.
+"""
+
+from repro.cache.config import CacheHierarchy, CacheLevelConfig
+from repro.cache.trace import AccessTrace, generate_trace
+from repro.cache.simulator import CacheSimResult, LevelStats, simulate_hierarchy
+from repro.cache.static_model import (
+    CacheModelResult,
+    LevelModelStats,
+    polyufc_cm,
+)
+from repro.cache.polyhedral_model import (
+    ExactLevelCounts,
+    ExactPolyhedralCM,
+    exact_first_level_counts,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevelConfig",
+    "AccessTrace",
+    "generate_trace",
+    "CacheSimResult",
+    "LevelStats",
+    "simulate_hierarchy",
+    "CacheModelResult",
+    "LevelModelStats",
+    "polyufc_cm",
+    "ExactLevelCounts",
+    "ExactPolyhedralCM",
+    "exact_first_level_counts",
+]

@@ -1,0 +1,76 @@
+"""Cache hierarchy configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One cache level (inclusive, LRU)."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self):
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*assoc = {self.line_bytes * self.associativity}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """An ordered tuple of levels, L1 first, LLC last."""
+
+    levels: Tuple[CacheLevelConfig, ...]
+
+    def __post_init__(self):
+        if not self.levels:
+            raise ValueError("hierarchy needs at least one level")
+        line = self.levels[0].line_bytes
+        previous_size = 0
+        for level in self.levels:
+            if level.line_bytes != line:
+                raise ValueError("all levels must share one line size")
+            if level.size_bytes <= previous_size:
+                raise ValueError("levels must strictly grow in capacity")
+            previous_size = level.size_bytes
+
+    @property
+    def line_bytes(self) -> int:
+        return self.levels[0].line_bytes
+
+    @property
+    def llc(self) -> CacheLevelConfig:
+        return self.levels[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def fully_associative(self) -> "CacheHierarchy":
+        """The same hierarchy with every level fully associative."""
+        return CacheHierarchy(
+            tuple(
+                CacheLevelConfig(
+                    level.name,
+                    level.size_bytes,
+                    level.line_bytes,
+                    level.num_lines,
+                )
+                for level in self.levels
+            )
+        )

@@ -1,0 +1,144 @@
+"""Trace-driven multi-level cache simulator (the "hardware").
+
+Inclusive, set-associative, true-LRU, write-allocate + write-back.  Each
+level filters the stream for the next: misses become fetches and dirty
+evictions become writebacks.  DRAM traffic is LLC fetches + LLC writebacks.
+
+This simulator provides the ground truth that the simulated platforms
+expose through PAPI-like counters; PolyUFC-CM (:mod:`repro.cache.
+static_model`) is the *model* being evaluated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cache.config import CacheHierarchy, CacheLevelConfig
+from repro.cache.trace import AccessTrace
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Counters for one simulated cache level."""
+
+    name: str
+    accesses: int
+    hits: int
+    misses: int
+    writebacks: int
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return 1.0 - self.miss_ratio if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class CacheSimResult:
+    """Hierarchy-wide simulation result."""
+
+    levels: Tuple[LevelStats, ...]
+    line_bytes: int
+    total_accesses: int
+
+    @property
+    def llc(self) -> LevelStats:
+        return self.levels[-1]
+
+    @property
+    def dram_fetch_bytes(self) -> int:
+        return self.llc.misses * self.line_bytes
+
+    @property
+    def dram_writeback_bytes(self) -> int:
+        return self.llc.writebacks * self.line_bytes
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total DRAM traffic (fetches + writebacks)."""
+        return self.dram_fetch_bytes + self.dram_writeback_bytes
+
+    def level_traffic_bytes(self, index: int) -> int:
+        """Bytes requested *from* level ``index`` (its access count x line)."""
+        return self.levels[index].accesses * self.line_bytes
+
+
+def _simulate_level(
+    lines: List[int],
+    writes: List[bool],
+    config: CacheLevelConfig,
+) -> Tuple[int, int, int, List[int], List[bool]]:
+    """Simulate one write-back LRU level.
+
+    Returns (hits, misses, writebacks, next_lines, next_writes): the filtered
+    stream the next level observes (fetch reads + writeback writes).
+    """
+    num_sets = config.num_sets
+    assoc = config.associativity
+    sets: List[List[int]] = [[] for _ in range(num_sets)]
+    dirty: List[List[bool]] = [[] for _ in range(num_sets)]
+    hits = 0
+    misses = 0
+    writebacks = 0
+    next_lines: List[int] = []
+    next_writes: List[bool] = []
+
+    for line, is_write in zip(lines, writes):
+        set_index = line % num_sets
+        ways = sets[set_index]
+        flags = dirty[set_index]
+        try:
+            way = ways.index(line)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            hits += 1
+            ways.insert(0, ways.pop(way))
+            flags.insert(0, flags.pop(way) or is_write)
+        else:
+            misses += 1
+            next_lines.append(line)
+            next_writes.append(False)  # fetch is a read
+            if len(ways) >= assoc:
+                evicted_dirty = flags.pop()
+                evicted_line = ways.pop()
+                if evicted_dirty:
+                    writebacks += 1
+                    next_lines.append(evicted_line)
+                    next_writes.append(True)
+            ways.insert(0, line)
+            flags.insert(0, is_write)
+
+    # Flush: dirty lines still resident write back at kernel end.
+    for flags_list in dirty:
+        flushed = sum(flags_list)
+        writebacks += flushed
+    # (flush writebacks are charged to this level's writeback count and to
+    # DRAM via the caller when this is the LLC; they are not replayed into
+    # the next level stream to keep level filtering causal.)
+    return hits, misses, writebacks, next_lines, next_writes
+
+
+def simulate_hierarchy(
+    trace: AccessTrace, hierarchy: CacheHierarchy
+) -> CacheSimResult:
+    """Run the trace through every level of the hierarchy."""
+    line_ids = trace.line_ids(hierarchy.line_bytes)
+    lines: List[int] = line_ids.tolist()
+    writes: List[bool] = trace.is_write.tolist()
+    stats: List[LevelStats] = []
+    for config in hierarchy.levels:
+        accesses = len(lines)
+        hits, misses, writebacks, lines, writes = _simulate_level(
+            lines, writes, config
+        )
+        stats.append(
+            LevelStats(config.name, accesses, hits, misses, writebacks)
+        )
+    return CacheSimResult(tuple(stats), hierarchy.line_bytes, len(trace))

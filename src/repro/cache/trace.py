@@ -1,0 +1,269 @@
+"""Memory-trace generation from affine IR.
+
+The trace is the numeric evaluation of the polyhedral access relation
+composed with the schedule: statement instances are visited in schedule
+(program) order and each instance emits its accesses in body order.  The
+innermost loop of every statement is vectorized with numpy, so trace
+generation is fast enough for the simulated problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.core import Buffer, IRError, Module, Op
+from repro.ir.dialects import arith
+from repro.ir.dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
+from repro.ir.dialects.linalg import LinalgOp
+from repro.ir.dialects.polyufc import SetUncoreCapOp
+from repro.isllite import LinExpr
+
+
+class TraceBudgetExceeded(IRError):
+    """The module generates more accesses than the configured cap."""
+
+
+@dataclass
+class AccessTrace:
+    """A flat memory trace.
+
+    ``buffer_ids[i]`` indexes into ``buffers``; ``offsets[i]`` is the element
+    offset within that buffer; ``is_write[i]`` marks stores.
+    """
+
+    buffers: List[Buffer]
+    buffer_ids: np.ndarray
+    offsets: np.ndarray
+    is_write: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.buffer_ids)
+
+    def line_ids(self, line_bytes: int) -> np.ndarray:
+        """Global cache-line ids: buffers laid out line-aligned end to end."""
+        bases = np.zeros(len(self.buffers), dtype=np.int64)
+        cursor = 0
+        for index, buffer in enumerate(self.buffers):
+            bases[index] = cursor
+            lines = -(-buffer.size_bytes // line_bytes)  # ceil
+            cursor += lines * line_bytes
+        element_sizes = np.array(
+            [b.dtype.size_bytes for b in self.buffers], dtype=np.int64
+        )
+        byte_addr = (
+            bases[self.buffer_ids]
+            + self.offsets * element_sizes[self.buffer_ids]
+        )
+        return byte_addr // line_bytes
+
+    def footprint_bytes(self) -> int:
+        """Total bytes of distinct elements touched."""
+        total = 0
+        for index, buffer in enumerate(self.buffers):
+            mask = self.buffer_ids == index
+            if mask.any():
+                distinct = np.unique(self.offsets[mask]).size
+                total += distinct * buffer.dtype.size_bytes
+        return total
+
+
+def generate_trace(
+    module: Module,
+    ops: Optional[Sequence[Op]] = None,
+    max_accesses: int = 60_000_000,
+) -> AccessTrace:
+    """Trace the given top-level ops (default: the whole module)."""
+    generator = _TraceGenerator(module, max_accesses)
+    for op in ops if ops is not None else module.ops:
+        generator.visit_top(op)
+    return generator.finish()
+
+
+class _TraceGenerator:
+    def __init__(self, module: Module, max_accesses: int):
+        self.module = module
+        self.max_accesses = max_accesses
+        self.buffers: List[Buffer] = []
+        self.buffer_index: Dict[str, int] = {}
+        self.chunks_ids: List[np.ndarray] = []
+        self.chunks_offsets: List[np.ndarray] = []
+        self.chunks_write: List[np.ndarray] = []
+        self.count = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _buffer_id(self, buffer: Buffer) -> int:
+        index = self.buffer_index.get(buffer.name)
+        if index is None:
+            index = len(self.buffers)
+            self.buffer_index[buffer.name] = index
+            self.buffers.append(buffer)
+        return index
+
+    def _charge(self, count: int) -> None:
+        self.count += count
+        if self.count > self.max_accesses:
+            raise TraceBudgetExceeded(
+                f"trace exceeds {self.max_accesses} accesses; "
+                "shrink the problem size or raise max_accesses"
+            )
+
+    # -- walking -----------------------------------------------------------
+
+    def visit_top(self, op: Op) -> None:
+        if isinstance(op, AffineForOp):
+            self._run_loop(op, dict(self.module.params))
+        elif isinstance(op, (SetUncoreCapOp, arith.ConstantOp)):
+            pass
+        elif isinstance(op, LinalgOp):
+            raise IRError(
+                f"trace generation needs affine IR; lower {op!r} first"
+            )
+        else:
+            raise IRError(f"cannot trace top-level op {op!r}")
+
+    def _run_loop(self, loop: AffineForOp, env: Dict[str, int]) -> None:
+        chain = self._rect_chain(loop, env)
+        if chain is not None:
+            self._run_rect_subtree(chain, env)
+            return
+        lower, upper = loop.eval_bounds(env)
+        for iv in range(lower, upper, loop.step):
+            env[loop.iv_name] = iv
+            for op in loop.body.ops:
+                if isinstance(op, AffineForOp):
+                    self._run_loop(op, env)
+                elif isinstance(op, (AffineLoadOp, AffineStoreOp)):
+                    self._emit_scalar(op, env)
+        env.pop(loop.iv_name, None)
+
+    @staticmethod
+    def _rect_chain(loop: AffineForOp, env: Dict[str, int]):
+        """A perfectly-nested, rectangular-under-env subtree, or None.
+
+        Every loop's bounds must only use names already bound in ``env``
+        (so the whole subtree is a dense grid given the current outer
+        iteration) and the leaf body must contain no further loops.  Such a
+        subtree is traced with a single vectorized emission.
+        """
+        bound = set(env)
+        chain = []
+        current = loop
+        while True:
+            for expr in current.lowers + current.uppers:
+                if not expr.names() <= bound:
+                    return None
+            chain.append(current)
+            body = current.body.ops
+            if any(isinstance(op, AffineForOp) for op in body):
+                if len(body) == 1 and isinstance(body[0], AffineForOp):
+                    current = body[0]
+                    continue
+                return None
+            return chain
+
+    def _run_rect_subtree(self, chain, env: Dict[str, int]) -> None:
+        lows = []
+        extents = []
+        steps = []
+        for loop in chain:
+            lower, upper = loop.eval_bounds(env)
+            span = max(0, (upper - lower + loop.step - 1) // loop.step)
+            lows.append(lower)
+            extents.append(span)
+            steps.append(loop.step)
+        total = 1
+        for extent in extents:
+            total *= extent
+        if total == 0:
+            return
+        accesses = [
+            op
+            for op in chain[-1].body.ops
+            if isinstance(op, (AffineLoadOp, AffineStoreOp))
+        ]
+        if not accesses:
+            return
+        self._charge(total * len(accesses))
+
+        # iv value of chain dim d at flat iteration n:
+        #   lows[d] + steps[d] * ((n // inner_d) % extents[d])
+        inner_sizes = [1] * len(chain)
+        for d in range(len(chain) - 2, -1, -1):
+            inner_sizes[d] = inner_sizes[d + 1] * extents[d + 1]
+        iv_names = [loop.iv_name for loop in chain]
+        iv_cache: Dict[int, np.ndarray] = {}
+
+        def iv_values(d: int) -> np.ndarray:
+            cached = iv_cache.get(d)
+            if cached is None:
+                pattern = (
+                    lows[d]
+                    + steps[d] * np.arange(extents[d], dtype=np.int64)
+                )
+                cached = np.tile(
+                    np.repeat(pattern, inner_sizes[d]),
+                    total // (extents[d] * inner_sizes[d]),
+                )
+                iv_cache[d] = cached
+            return cached
+
+        ids = np.empty((total, len(accesses)), dtype=np.int32)
+        offsets = np.empty((total, len(accesses)), dtype=np.int64)
+        writes = np.empty((total, len(accesses)), dtype=bool)
+        for column, op in enumerate(accesses):
+            buffer = op.buffer
+            ids[:, column] = self._buffer_id(buffer)
+            writes[:, column] = isinstance(op, AffineStoreOp)
+            base = 0
+            coeffs = [0] * len(chain)
+            for expr, stride in zip(op.indices, buffer.strides()):
+                partial = expr.partial(env)
+                base += partial.const * stride
+                leftover = set(partial.names())
+                for d, name in enumerate(iv_names):
+                    coeff = partial.coeff(name)
+                    if coeff:
+                        coeffs[d] += coeff * stride
+                        leftover.discard(name)
+                if leftover:
+                    raise IRError(
+                        f"subscript {expr!r} uses unbound names "
+                        f"{sorted(leftover)}"
+                    )
+            column_offsets = np.full(total, base, dtype=np.int64)
+            for d, coeff in enumerate(coeffs):
+                if coeff:
+                    column_offsets += coeff * iv_values(d)
+            offsets[:, column] = column_offsets
+        self.chunks_ids.append(ids.reshape(-1))
+        self.chunks_offsets.append(offsets.reshape(-1))
+        self.chunks_write.append(writes.reshape(-1))
+
+    def _emit_scalar(self, op, env: Dict[str, int]) -> None:
+        self._charge(1)
+        buffer = op.buffer
+        offset = 0
+        for expr, stride in zip(op.indices, buffer.strides()):
+            offset += expr.evaluate_int(env) * stride
+        self.chunks_ids.append(
+            np.array([self._buffer_id(buffer)], dtype=np.int32)
+        )
+        self.chunks_offsets.append(np.array([offset], dtype=np.int64))
+        self.chunks_write.append(
+            np.array([isinstance(op, AffineStoreOp)], dtype=bool)
+        )
+
+    def finish(self) -> AccessTrace:
+        if self.chunks_ids:
+            ids = np.concatenate(self.chunks_ids)
+            offsets = np.concatenate(self.chunks_offsets)
+            writes = np.concatenate(self.chunks_write)
+        else:
+            ids = np.empty(0, dtype=np.int32)
+            offsets = np.empty(0, dtype=np.int64)
+            writes = np.empty(0, dtype=bool)
+        return AccessTrace(self.buffers, ids, offsets, writes)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro.cli <command> ...``.
+
+Commands:
+
+* ``list`` -- registered benchmarks (and their classes once cached)
+* ``platforms`` -- the simulated machines
+* ``constants --platform rpl`` -- fitted Tab. I roofline constants
+* ``characterize <kernel> --platform rpl`` -- per-unit OI / CB-BB / caps
+* ``compile <kernel>`` -- print the capped module IR
+* ``compare <kernel>`` -- PolyUFC caps vs the UFS-driver baseline
+* ``sweep <kernel>`` -- time/energy/EDP across the uncore range
+* ``roofline <kernels...>`` -- ASCII roofline plot with kernels placed on it
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_platform(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--platform", "-p", default="rpl", choices=["rpl", "bdw"],
+        help="simulated platform (default: rpl)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="polyufc", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered benchmarks")
+    commands.add_parser("platforms", help="describe the simulated machines")
+
+    constants = commands.add_parser(
+        "constants", help="fitted roofline constants"
+    )
+    _add_platform(constants)
+
+    characterize = commands.add_parser(
+        "characterize", help="characterize one benchmark"
+    )
+    characterize.add_argument("kernel")
+    _add_platform(characterize)
+    characterize.add_argument(
+        "--granularity", default="linalg",
+        choices=["torch", "linalg", "affine"],
+    )
+
+    compile_cmd = commands.add_parser(
+        "compile", help="print the capped module IR"
+    )
+    compile_cmd.add_argument("kernel")
+    _add_platform(compile_cmd)
+    compile_cmd.add_argument(
+        "--objective", default="edp",
+        choices=["edp", "energy", "performance"],
+    )
+
+    compare = commands.add_parser(
+        "compare", help="PolyUFC caps vs the UFS-driver baseline"
+    )
+    compare.add_argument("kernel")
+    _add_platform(compare)
+
+    sweep = commands.add_parser(
+        "sweep", help="time/energy/EDP across the uncore frequency range"
+    )
+    sweep.add_argument("kernel")
+    _add_platform(sweep)
+
+    roofline = commands.add_parser(
+        "roofline", help="ASCII roofline plot with kernels placed on it"
+    )
+    roofline.add_argument("kernels", nargs="+")
+    _add_platform(roofline)
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.benchsuite import REGISTRY
+
+    for name in sorted(REGISTRY):
+        spec = REGISTRY[name]
+        print(f"{name:<20} {spec.category:<10} {spec.source}")
+    return 0
+
+
+def _cmd_platforms() -> int:
+    from repro.hw import get_platform
+
+    for name in ("bdw", "rpl"):
+        platform = get_platform(name)
+        print(
+            f"{platform.name}: {platform.cores}C/{platform.threads}T, "
+            f"core {platform.core_base_ghz}-{platform.core_max_ghz} GHz, "
+            f"uncore {platform.uncore.f_min_ghz}-"
+            f"{platform.uncore.f_max_ghz} GHz, "
+            f"LLC {platform.hierarchy.llc.size_bytes // 1024} KiB, "
+            f"cap overhead {platform.cap_overhead_s * 1e6:.0f} us"
+        )
+    return 0
+
+
+def _cmd_constants(platform_name: str) -> int:
+    from repro.hw import get_platform
+    from repro.pipeline import get_constants
+
+    platform = get_platform(platform_name)
+    constants = get_constants(platform)
+    print(f"fitted roofline constants for {platform.name}:")
+    print(f"  peak compute    {1 / constants.t_fpu / 1e9:10.1f} Gflop/s")
+    print(f"  peak bandwidth  {constants.peak_bandwidth / 1e9:10.1f} GB/s")
+    print(f"  B^t_DRAM        {constants.b_t_dram:10.2f} FpB")
+    print(f"  f_sat           {constants.saturation_freq():10.2f} GHz")
+    print(f"  p_con           {constants.p_con:10.1f} W")
+    print(f"  p^_FPU          {constants.p_hat_fpu:10.1f} W")
+    print(f"  e_FPU           {constants.e_fpu:10.3e} J/flop")
+    print(f"  overlap rho     {constants.overlap_rho:10.2f}")
+    return 0
+
+
+def _cmd_characterize(kernel: str, platform_name: str, granularity: str) -> int:
+    from repro.experiments import kernel_report
+
+    report = kernel_report(kernel, platform_name, granularity=granularity)
+    print(
+        f"{kernel} on {report.platform} ({granularity} granularity): "
+        f"OI {report.oi_model:.2f} FpB, {report.boundedness}"
+    )
+    for unit in report.units:
+        print(
+            f"  {unit.name:<28} OI {unit.oi_fpb:8.2f}  {unit.boundedness}  "
+            f"cap {unit.cap_ghz:.1f} GHz"
+        )
+    return 0
+
+
+def _cmd_compile(kernel: str, platform_name: str, objective: str) -> int:
+    from repro.benchsuite import get_benchmark
+    from repro.hw import get_platform
+    from repro.ir import print_module
+    from repro.pipeline import polyufc_compile
+
+    platform = get_platform(platform_name)
+    result = polyufc_compile(
+        get_benchmark(kernel).module(), platform, objective=objective
+    )
+    print(print_module(result.capped_module))
+    return 0
+
+
+def _cmd_compare(kernel: str, platform_name: str) -> int:
+    from repro.experiments import baseline_comparison
+
+    comparison = baseline_comparison(kernel, platform_name)
+
+    def improvement(gain: float) -> str:
+        return f"{(1 - 1 / gain) * 100:+.1f}%"
+
+    print(f"{kernel} on {comparison.platform} (PolyUFC vs UFS baseline):")
+    print(f"  time   {improvement(comparison.speedup)}")
+    print(f"  energy {improvement(comparison.energy_gain)}")
+    print(f"  EDP    {improvement(comparison.edp_gain)}")
+    return 0
+
+
+def _cmd_sweep(kernel: str, platform_name: str) -> int:
+    from repro.experiments import frequency_sweep
+
+    rows = frequency_sweep(kernel, platform_name)
+    best = min(rows, key=lambda r: r[3])
+    print(f"{'f_c':>5} {'time(us)':>10} {'energy(mJ)':>11} {'EDP(nJ.s)':>11}")
+    for f, time_s, energy, edp in rows:
+        marker = "  <- min EDP" if f == best[0] else ""
+        print(
+            f"{f:>5.1f} {time_s * 1e6:>10.1f} {energy * 1e3:>11.3f} "
+            f"{edp * 1e9:>11.3f}{marker}"
+        )
+    return 0
+
+
+def _cmd_roofline(kernels: List[str], platform_name: str) -> int:
+    from repro.experiments import kernel_report
+    from repro.hw import get_platform
+    from repro.pipeline import get_constants
+    from repro.roofline.plot import RooflinePoint, render_roofline
+
+    platform = get_platform(platform_name)
+    constants = get_constants(platform)
+    points = []
+    for kernel in kernels:
+        report = kernel_report(kernel, platform_name)
+        points.append(RooflinePoint(kernel, report.oi_model, 0.0))
+    print(render_roofline(constants, points))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "platforms":
+        return _cmd_platforms()
+    if args.command == "constants":
+        return _cmd_constants(args.platform)
+    if args.command == "characterize":
+        return _cmd_characterize(args.kernel, args.platform, args.granularity)
+    if args.command == "compile":
+        return _cmd_compile(args.kernel, args.platform, args.objective)
+    if args.command == "compare":
+        return _cmd_compare(args.kernel, args.platform)
+    if args.command == "sweep":
+        return _cmd_sweep(args.kernel, args.platform)
+    if args.command == "roofline":
+        return _cmd_roofline(args.kernels, args.platform)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Experiment runner: compile + measure benchmarks, with disk caching.
+
+The heavy artifacts (PolyUFC compilation, trace simulation) are cached as
+JSON under ``.polyufc_cache/`` keyed by benchmark, platform and
+configuration, so regenerating a table or figure is fast after the first
+run.  Set ``REPRO_CACHE_DIR`` to relocate the cache or
+``REPRO_NO_CACHE=1`` to disable it.
+"""
+
+from repro.experiments.runner import (
+    KernelReport,
+    UnitReport,
+    baseline_comparison,
+    frequency_sweep,
+    kernel_report,
+    cache_dir,
+)
+
+__all__ = [
+    "KernelReport",
+    "UnitReport",
+    "baseline_comparison",
+    "frequency_sweep",
+    "kernel_report",
+    "cache_dir",
+]

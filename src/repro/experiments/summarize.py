@@ -1,0 +1,76 @@
+"""Regenerate the EXPERIMENTS.md headline numbers from the cache.
+
+Run:  python -m repro.experiments.summarize [rpl|bdw|all]
+
+Prints, per platform: the PolyBench-22 CB/BB split, the per-kernel Fig. 7
+comparison, geomean EDP improvement, and the Tab. I calibration summary.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import List
+
+from repro.benchsuite import ml_benchmarks, paper22_names
+from repro.experiments.runner import baseline_comparison, kernel_report
+from repro.hw.platform import get_platform
+from repro.pipeline import get_constants
+
+
+def summarize_platform(platform_name: str) -> None:
+    platform = get_platform(platform_name)
+    constants = get_constants(platform)
+    print(f"\n================ {platform.name} ================")
+    print(
+        f"Tab. I: peak {1 / constants.t_fpu / 1e9:.1f} Gflop/s, "
+        f"B^t {constants.b_t_dram:.2f} FpB, "
+        f"f_sat {constants.saturation_freq():.2f} GHz, "
+        f"p_con {constants.p_con:.1f} W, rho {constants.overlap_rho:.2f}"
+    )
+
+    cb = bb = 0
+    for kernel in paper22_names():
+        report = kernel_report(kernel, platform_name)
+        if report.boundedness == "CB":
+            cb += 1
+        else:
+            bb += 1
+    print(f"Fig. 6: PolyBench-22 split {cb} CB / {bb} BB")
+
+    print("Fig. 7: PolyUFC vs UFS baseline")
+    print(f"  {'kernel':<20}{'class':>6}{'time':>9}{'energy':>9}{'EDP':>9}")
+    gains: List[float] = []
+    kernels = sorted(set(paper22_names()) | set(ml_benchmarks()))
+    for kernel in kernels:
+        report = kernel_report(kernel, platform_name)
+        comparison = baseline_comparison(kernel, platform_name)
+        if kernel in set(paper22_names()):
+            gains.append(comparison.edp_gain)
+
+        def imp(gain: float) -> str:
+            return f"{(1 - 1 / gain) * 100:+.1f}%"
+
+        print(
+            f"  {kernel:<20}{report.boundedness:>6}"
+            f"{imp(comparison.speedup):>9}{imp(comparison.energy_gain):>9}"
+            f"{imp(comparison.edp_gain):>9}"
+        )
+    geomean = math.exp(sum(math.log(g) for g in gains) / len(gains))
+    print(
+        f"  PolyBench geomean EDP improvement: "
+        f"{(1 - 1 / geomean) * 100:+.1f}%"
+    )
+
+
+def main(argv: List[str] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    target = argv[0] if argv else "all"
+    platforms = ["rpl", "bdw"] if target == "all" else [target]
+    for platform_name in platforms:
+        summarize_platform(platform_name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

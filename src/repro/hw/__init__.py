@@ -1,0 +1,56 @@
+"""Simulated hardware: platforms, execution model, uncore drivers, counters.
+
+This package replaces the paper's physical testbed (Tab. III): two x86
+platforms with core/uncore frequency domains, RAPL-like energy counters and
+PAPI-like performance counters.  "Measuring" a kernel means pushing its
+exact memory trace through the cache simulator and converting flops and
+traffic into time and power with the platform's ground-truth parameters --
+parameters the PolyUFC roofline fits only *approximate*, which is what
+makes model-vs-hardware comparisons meaningful.
+"""
+
+from repro.hw.platform import (
+    PlatformSpec,
+    UncoreSpec,
+    broadwell_sim,
+    raptorlake_sim,
+    get_platform,
+    PLATFORMS,
+)
+from repro.hw.execution import (
+    KernelWorkload,
+    RunResult,
+    execute_fixed,
+    workload_from_sim,
+    workload_from_model,
+)
+from repro.hw.governor import (
+    GovernorConfig,
+    run_capped_sequence,
+    run_governed_sequence,
+)
+from repro.hw.duf import DufConfig, run_duf_sequence
+from repro.hw.counters import PapiCounters, RaplReading, papi_measure, rapl_measure
+
+__all__ = [
+    "PlatformSpec",
+    "UncoreSpec",
+    "broadwell_sim",
+    "raptorlake_sim",
+    "get_platform",
+    "PLATFORMS",
+    "KernelWorkload",
+    "RunResult",
+    "execute_fixed",
+    "workload_from_sim",
+    "workload_from_model",
+    "GovernorConfig",
+    "run_capped_sequence",
+    "run_governed_sequence",
+    "DufConfig",
+    "run_duf_sequence",
+    "PapiCounters",
+    "RaplReading",
+    "papi_measure",
+    "rapl_measure",
+]

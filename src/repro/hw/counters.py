@@ -1,0 +1,99 @@
+"""Simulated PAPI performance counters and RAPL energy zones.
+
+``papi_measure`` packages the cache simulator's ground truth the way the
+paper reads it from PAPI events; ``rapl_measure`` exposes energy readings
+with the platform's real limitation: Broadwell has no uncore RAPL zone, so
+only package energy is reported there (paper footnote 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.simulator import CacheSimResult
+from repro.hw.execution import (
+    KernelWorkload,
+    RunResult,
+    compute_time_s,
+    memory_time_s,
+)
+from repro.hw.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class PapiCounters:
+    """PAPI-like event counts for one kernel execution."""
+
+    flops: int
+    l1_misses: int
+    l2_misses: int
+    llc_misses: int
+    dram_bytes: int
+    time_s: float
+
+    @property
+    def measured_oi_fpb(self) -> float:
+        return self.flops / self.dram_bytes if self.dram_bytes else float("inf")
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.time_s / 1e9 if self.time_s else 0.0
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.dram_bytes / self.time_s / 1e9 if self.time_s else 0.0
+
+
+@dataclass(frozen=True)
+class RaplReading:
+    """RAPL-like energy reading for one kernel execution."""
+
+    package_j: float
+    uncore_j: Optional[float]  # None when the zone is unavailable (BDW)
+
+    @property
+    def has_uncore_zone(self) -> bool:
+        return self.uncore_j is not None
+
+
+def papi_measure(
+    workload: KernelWorkload, sim: CacheSimResult, run: RunResult
+) -> PapiCounters:
+    """The counters PAPI would report for this run."""
+    return PapiCounters(
+        flops=workload.flops,
+        l1_misses=sim.levels[0].misses,
+        l2_misses=sim.levels[1].misses if len(sim.levels) > 1 else 0,
+        llc_misses=sim.llc.misses,
+        dram_bytes=sim.dram_bytes,
+        time_s=run.time_s,
+    )
+
+
+def rapl_measure(
+    platform: PlatformSpec,
+    workload: KernelWorkload,
+    run: RunResult,
+    prefetch: bool = True,
+) -> RaplReading:
+    """The energy RAPL would report; uncore zone only where it exists."""
+    package = run.energy_j
+    if not platform.has_uncore_rapl:
+        return RaplReading(package_j=package, uncore_j=None)
+    t_compute = compute_time_s(platform, workload)
+    t_memory = memory_time_s(platform, workload, run.f_uncore_ghz, prefetch)
+    total = max(t_compute, t_memory) + platform.overlap_rho * min(
+        t_compute, t_memory
+    )
+    activity = min(1.0, t_memory / total) if total else 0.0
+    uncore_power = platform.uncore_power_w(run.f_uncore_ghz, activity)
+    dram_power = (
+        platform.e_dram_per_byte * workload.dram_bytes / run.time_s
+        if run.time_s
+        else 0.0
+    )
+    return RaplReading(
+        package_j=package,
+        uncore_j=(uncore_power + dram_power) * run.time_s,
+    )

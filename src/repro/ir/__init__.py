@@ -1,0 +1,57 @@
+"""A miniature multi-dialect IR (the MLIR substitute).
+
+Public surface:
+
+* :class:`Module`, :class:`Buffer`, :class:`Op`, :class:`Region`,
+  :class:`Value` and element types from :mod:`repro.ir.core`,
+* dialects under :mod:`repro.ir.dialects` (``torch``, ``linalg``,
+  ``affine``/``arith``, ``polyufc``),
+* :class:`AffineBuilder` for writing affine kernels by hand,
+* :func:`run_module` -- the reference interpreter,
+* :func:`print_module` -- the textual printer,
+* lowering passes :func:`lower_torch_to_linalg` and
+  :func:`lower_linalg_to_affine`.
+"""
+
+from repro.ir.core import (
+    Buffer,
+    ElementType,
+    F16,
+    F32,
+    F64,
+    I32,
+    IRError,
+    Module,
+    Op,
+    Region,
+    Value,
+)
+from repro.ir.builder import AffineBuilder, as_index
+from repro.ir.interp import init_buffers, run_module
+from repro.ir.printer import print_module
+from repro.ir.parser import ParseError, parse_expr, parse_module
+from repro.ir.lowering import lower_linalg_to_affine, lower_torch_to_linalg
+
+__all__ = [
+    "Buffer",
+    "ElementType",
+    "F16",
+    "F32",
+    "F64",
+    "I32",
+    "IRError",
+    "Module",
+    "Op",
+    "Region",
+    "Value",
+    "AffineBuilder",
+    "as_index",
+    "init_buffers",
+    "run_module",
+    "print_module",
+    "ParseError",
+    "parse_expr",
+    "parse_module",
+    "lower_linalg_to_affine",
+    "lower_torch_to_linalg",
+]

@@ -1,0 +1,124 @@
+"""Convenience builder for affine loop nests.
+
+The benchmark suite writes PolyBench kernels directly at affine level; this
+builder keeps those definitions close to the C source they mirror::
+
+    b = AffineBuilder(module)
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, n):
+            x = b.load(A, ["i", "j"])
+            b.store(b.mul(x, b.const(2.0)), A, ["i", "j"])
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Sequence, Union
+
+from repro.ir.core import Buffer, Module, Value
+from repro.ir.dialects import arith
+from repro.ir.dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
+from repro.isllite import LinExpr
+
+IndexLike = Union[str, int, LinExpr]
+
+
+def as_index(index: IndexLike) -> LinExpr:
+    """Coerce a subscript: strings are induction-variable names."""
+    if isinstance(index, str):
+        return LinExpr.var(index)
+    return LinExpr.coerce(index)
+
+
+def _as_bound_spec(bound):
+    """Coerce a loop bound: a single index-like or a list of them."""
+    if isinstance(bound, (list, tuple)):
+        return [as_index(b) for b in bound]
+    return as_index(bound)
+
+
+class AffineBuilder:
+    """Builds affine nests into a module with an insertion-point stack."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._stack: List = [module]
+
+    def _append(self, op):
+        top = self._stack[-1]
+        if isinstance(top, Module):
+            top.append(op)
+        else:
+            top.body.append(op)
+        return op
+
+    @contextmanager
+    def loop(
+        self,
+        iv_name: str,
+        lower: IndexLike,
+        upper: IndexLike,
+        step: int = 1,
+        parallel: bool = False,
+    ):
+        """Open an ``affine.for``; the body is built inside the ``with``.
+
+        ``lower``/``upper`` may be lists (max/min composite bounds).
+        """
+        op = AffineForOp(
+            iv_name, _as_bound_spec(lower), _as_bound_spec(upper), step, parallel
+        )
+        self._append(op)
+        self._stack.append(op)
+        try:
+            yield op
+        finally:
+            self._stack.pop()
+
+    # -- memory ------------------------------------------------------------
+
+    def load(self, buffer: Buffer, indices: Sequence[IndexLike]) -> Value:
+        op = self._append(AffineLoadOp(buffer, [as_index(i) for i in indices]))
+        return op.result
+
+    def store(
+        self, value: Value, buffer: Buffer, indices: Sequence[IndexLike]
+    ) -> None:
+        self._append(
+            AffineStoreOp(value, buffer, [as_index(i) for i in indices])
+        )
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def const(self, value: float) -> Value:
+        return self._append(arith.ConstantOp(value)).result
+
+    def _binary(self, kind: str, lhs: Value, rhs: Value) -> Value:
+        return self._append(arith.BinaryOp(kind, lhs, rhs)).result
+
+    def add(self, lhs: Value, rhs: Value) -> Value:
+        return self._binary("addf", lhs, rhs)
+
+    def sub(self, lhs: Value, rhs: Value) -> Value:
+        return self._binary("subf", lhs, rhs)
+
+    def mul(self, lhs: Value, rhs: Value) -> Value:
+        return self._binary("mulf", lhs, rhs)
+
+    def div(self, lhs: Value, rhs: Value) -> Value:
+        return self._binary("divf", lhs, rhs)
+
+    def maxf(self, lhs: Value, rhs: Value) -> Value:
+        return self._binary("maxf", lhs, rhs)
+
+    def minf(self, lhs: Value, rhs: Value) -> Value:
+        return self._binary("minf", lhs, rhs)
+
+    def neg(self, operand: Value) -> Value:
+        return self._append(arith.UnaryOp("negf", operand)).result
+
+    def exp(self, operand: Value) -> Value:
+        return self._append(arith.UnaryOp("expf", operand)).result
+
+    def sqrt(self, operand: Value) -> Value:
+        return self._append(arith.UnaryOp("sqrtf", operand)).result

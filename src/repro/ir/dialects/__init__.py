@@ -1,0 +1,1 @@
+"""IR dialects: torch, linalg, affine/arith and the polyufc cap dialect."""

@@ -1,0 +1,88 @@
+"""The ``arith`` dialect: scalar SSA arithmetic inside affine loop bodies."""
+
+from __future__ import annotations
+
+from repro.ir.core import ElementType, F64, IRError, Op, Value
+
+#: Binary op kinds.  The paper's flop model is unitary (footnote 13): every
+#: arith op counts as one flop regardless of kind and element type.
+BINARY_KINDS = ("addf", "subf", "mulf", "divf", "maxf", "minf")
+UNARY_KINDS = ("negf", "expf", "sqrtf", "absf", "relu")
+
+
+class ConstantOp(Op):
+    """``%r = arith.constant <value>`` -- zero flops."""
+
+    dialect = "arith"
+    name = "constant"
+
+    def __init__(self, value: float, dtype: ElementType = F64):
+        super().__init__(num_results=1, result_dtype=dtype)
+        self.attrs["value"] = float(value)
+
+    @property
+    def value(self) -> float:
+        return self.attrs["value"]
+
+    def flops(self) -> int:
+        return 0
+
+
+class BinaryOp(Op):
+    """``%r = arith.<kind> %lhs, %rhs`` -- one flop."""
+
+    dialect = "arith"
+
+    def __init__(self, kind: str, lhs: Value, rhs: Value):
+        if kind not in BINARY_KINDS:
+            raise IRError(f"unknown arith binary kind {kind!r}")
+        super().__init__(operands=[lhs, rhs], num_results=1,
+                         result_dtype=lhs.dtype)
+        self.attrs["kind"] = kind
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.attrs["kind"]
+
+    @property
+    def kind(self) -> str:
+        return self.attrs["kind"]
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def flops(self) -> int:
+        return 1
+
+
+class UnaryOp(Op):
+    """``%r = arith.<kind> %operand`` -- one flop."""
+
+    dialect = "arith"
+
+    def __init__(self, kind: str, operand: Value):
+        if kind not in UNARY_KINDS:
+            raise IRError(f"unknown arith unary kind {kind!r}")
+        super().__init__(operands=[operand], num_results=1,
+                         result_dtype=operand.dtype)
+        self.attrs["kind"] = kind
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.attrs["kind"]
+
+    @property
+    def kind(self) -> str:
+        return self.attrs["kind"]
+
+    @property
+    def operand(self) -> Value:
+        return self.operands[0]
+
+    def flops(self) -> int:
+        return 1

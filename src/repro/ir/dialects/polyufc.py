@@ -1,0 +1,33 @@
+"""The ``polyufc`` dialect: uncore frequency cap markers.
+
+The capping pass inserts :class:`SetUncoreCapOp` in front of kernels (top-
+level affine/linalg ops).  At "code generation" the simulated hardware
+interprets each marker as a call into the uncore frequency driver, charging
+the per-cap overhead the paper measures (35us on BDW, 21us on RPL).
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import IRError, Op
+
+
+class SetUncoreCapOp(Op):
+    """``polyufc.set_uncore_cap { freq_ghz = ... }``."""
+
+    dialect = "polyufc"
+    name = "set_uncore_cap"
+
+    def __init__(self, freq_ghz: float, reason: str = ""):
+        super().__init__()
+        if freq_ghz <= 0:
+            raise IRError(f"non-positive frequency cap {freq_ghz}")
+        self.attrs["freq_ghz"] = float(freq_ghz)
+        self.attrs["reason"] = reason
+
+    @property
+    def freq_ghz(self) -> float:
+        return self.attrs["freq_ghz"]
+
+    @property
+    def reason(self) -> str:
+        return self.attrs["reason"]

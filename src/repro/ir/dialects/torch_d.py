@@ -1,0 +1,145 @@
+"""The ``torch`` dialect: model-level operations.
+
+These are the coarse ops the torch-mlir frontend would produce; each bundles
+several linalg ops (the torch->linalg lowering makes the decomposition
+explicit, which is what drives the paper's multi-level phase-change study).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.ir.core import Buffer, IRError, Op
+
+
+class TorchOp(Op):
+    """Base class for torch-dialect ops."""
+
+    dialect = "torch"
+
+
+class TorchConv2dOp(TorchOp):
+    """``torch.conv2d`` in NCHW/FCHW layout (no padding; stride supported)."""
+
+    name = "conv2d"
+
+    def __init__(
+        self,
+        input_: Buffer,
+        weight: Buffer,
+        output: Buffer,
+        stride: Tuple[int, int] = (1, 1),
+    ):
+        super().__init__()
+        self.input = input_
+        self.weight = weight
+        self.output = output
+        self.attrs["stride"] = (int(stride[0]), int(stride[1]))
+
+    @property
+    def stride(self) -> Tuple[int, int]:
+        return self.attrs["stride"]
+
+    def buffers_read(self) -> List[Buffer]:
+        return [self.input, self.weight]
+
+    def buffers_written(self) -> List[Buffer]:
+        return [self.output]
+
+
+class TorchMatmulOp(TorchOp):
+    """``torch.matmul`` for rank-2 operands (the LM-head projection)."""
+
+    name = "matmul"
+
+    def __init__(self, a: Buffer, b: Buffer, output: Buffer):
+        super().__init__()
+        if a.rank != 2 or b.rank != 2 or output.rank != 2:
+            raise IRError("torch.matmul reproduction supports rank-2 only")
+        self.a, self.b, self.output = a, b, output
+
+    def buffers_read(self) -> List[Buffer]:
+        return [self.a, self.b]
+
+    def buffers_written(self) -> List[Buffer]:
+        return [self.output]
+
+
+class TorchSoftmaxOp(TorchOp):
+    """``torch.softmax`` along the last dimension."""
+
+    name = "softmax"
+
+    def __init__(self, input_: Buffer, output: Buffer):
+        super().__init__()
+        if input_.shape != output.shape:
+            raise IRError("softmax input/output shapes differ")
+        self.input = input_
+        self.output = output
+
+    def buffers_read(self) -> List[Buffer]:
+        return [self.input]
+
+    def buffers_written(self) -> List[Buffer]:
+        return [self.output]
+
+
+class TorchSdpaOp(TorchOp):
+    """``torch.sdpa``: scaled dot-product attention.
+
+    Q, K, V are ``(batch, heads, seq, head_dim)``; the output has the same
+    shape.  ``scale`` defaults to ``1/sqrt(head_dim)``.
+    """
+
+    name = "sdpa"
+
+    def __init__(
+        self,
+        query: Buffer,
+        key: Buffer,
+        value: Buffer,
+        output: Buffer,
+        scale: Optional[float] = None,
+    ):
+        super().__init__()
+        for buffer in (query, key, value, output):
+            if buffer.rank != 4:
+                raise IRError("sdpa operands must be rank-4 (B, H, S, D)")
+        if not (query.shape == key.shape == value.shape == output.shape):
+            raise IRError("sdpa reproduction needs equal Q/K/V/O shapes")
+        self.query, self.key, self.value = query, key, value
+        self.output = output
+        head_dim = query.shape[-1]
+        self.attrs["scale"] = (
+            float(scale) if scale is not None else 1.0 / math.sqrt(head_dim)
+        )
+
+    @property
+    def scale(self) -> float:
+        return self.attrs["scale"]
+
+    def buffers_read(self) -> List[Buffer]:
+        return [self.query, self.key, self.value]
+
+    def buffers_written(self) -> List[Buffer]:
+        return [self.output]
+
+
+class TorchReluOp(TorchOp):
+    """``torch.relu``."""
+
+    name = "relu"
+
+    def __init__(self, input_: Buffer, output: Buffer):
+        super().__init__()
+        if input_.shape != output.shape:
+            raise IRError("relu input/output shapes differ")
+        self.input = input_
+        self.output = output
+
+    def buffers_read(self) -> List[Buffer]:
+        return [self.input]
+
+    def buffers_written(self) -> List[Buffer]:
+        return [self.output]

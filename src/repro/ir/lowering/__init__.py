@@ -1,0 +1,6 @@
+"""Lowering passes between dialect levels."""
+
+from repro.ir.lowering.torch_to_linalg import lower_torch_to_linalg
+from repro.ir.lowering.linalg_to_affine import lower_linalg_to_affine
+
+__all__ = ["lower_torch_to_linalg", "lower_linalg_to_affine"]

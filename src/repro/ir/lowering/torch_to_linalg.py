@@ -1,0 +1,107 @@
+"""Lower torch-dialect ops to sequences of linalg structured ops.
+
+The decompositions mirror what torch-mlir produces and are what gives the
+multi-level phase-change structure of the paper's Fig. 5: one ``torch.sdpa``
+becomes two (compute-bound) batched matmuls around a run of seven
+(bandwidth-bound) pointwise/reduction ops.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.core import Buffer, IRError, Module, Op
+from repro.ir.dialects.linalg import (
+    BatchMatmulOp,
+    BroadcastCombineOp,
+    Conv2DNchwFchwOp,
+    ElementwiseOp,
+    FillOp,
+    MatmulOp,
+    ReduceOp,
+)
+from repro.ir.dialects.torch_d import (
+    TorchConv2dOp,
+    TorchMatmulOp,
+    TorchReluOp,
+    TorchSdpaOp,
+    TorchSoftmaxOp,
+)
+
+
+def lower_torch_to_linalg(module: Module) -> Module:
+    """A new module in which every torch op is replaced by linalg ops."""
+    lowered = module.clone_structure(f"{module.name}.linalg")
+    for index, op in enumerate(module.ops):
+        for replacement in _lower_op(op, lowered):
+            if replacement is not op:
+                replacement.attrs["torch_source_op"] = op
+                replacement.attrs["torch_source_index"] = index
+            lowered.append(replacement)
+    return lowered
+
+
+def _fresh_buffer(module: Module, base: str, shape, dtype) -> Buffer:
+    name = base
+    counter = 0
+    while name in module.buffers:
+        counter += 1
+        name = f"{base}_{counter}"
+    return module.add_buffer(name, shape, dtype)
+
+
+def _lower_op(op: Op, module: Module) -> List[Op]:
+    if isinstance(op, TorchConv2dOp):
+        return [
+            FillOp(op.output, 0.0),
+            Conv2DNchwFchwOp(op.input, op.weight, op.output, op.stride),
+        ]
+    if isinstance(op, TorchMatmulOp):
+        return [FillOp(op.output, 0.0), MatmulOp(op.a, op.b, op.output)]
+    if isinstance(op, TorchReluOp):
+        return [ElementwiseOp("relu", [op.input], op.output)]
+    if isinstance(op, TorchSoftmaxOp):
+        return _lower_softmax(op.input, op.output, module)
+    if isinstance(op, TorchSdpaOp):
+        return _lower_sdpa(op, module)
+    # Already-lowered ops (linalg, affine, polyufc markers) pass through.
+    return [op]
+
+
+def _lower_softmax(
+    source: Buffer, output: Buffer, module: Module
+) -> List[Op]:
+    dtype = source.dtype
+    row_shape = source.shape[:-1]
+    if not row_shape:
+        raise IRError("softmax over rank-1 buffers needs rank >= 2")
+    row_max = _fresh_buffer(module, f"{source.name}_rowmax", row_shape, dtype)
+    shifted = _fresh_buffer(module, f"{source.name}_shifted", source.shape, dtype)
+    row_sum = _fresh_buffer(module, f"{source.name}_rowsum", row_shape, dtype)
+    return [
+        ReduceOp("max", source, row_max),
+        BroadcastCombineOp("sub", source, row_max, shifted),
+        ElementwiseOp("exp", [shifted], shifted),
+        ReduceOp("sum", shifted, row_sum),
+        BroadcastCombineOp("div", shifted, row_sum, output),
+    ]
+
+
+def _lower_sdpa(op: TorchSdpaOp, module: Module) -> List[Op]:
+    batch, heads, seq, _head_dim = op.query.shape
+    dtype = op.query.dtype
+    scores = _fresh_buffer(
+        module, f"{op.output.name}_scores", (batch, heads, seq, seq), dtype
+    )
+    probs = _fresh_buffer(
+        module, f"{op.output.name}_probs", (batch, heads, seq, seq), dtype
+    )
+    ops: List[Op] = [
+        FillOp(scores, 0.0),
+        BatchMatmulOp(op.query, op.key, scores, transpose_b=True),
+        ElementwiseOp("scale", [scores], scores, scalar=op.scale),
+    ]
+    ops.extend(_lower_softmax(scores, probs, module))
+    ops.append(FillOp(op.output, 0.0))
+    ops.append(BatchMatmulOp(probs, op.value, op.output))
+    return ops

@@ -1,0 +1,110 @@
+"""Textual printer producing MLIR-flavoured output for any dialect level."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.core import Module, Op, Value
+from repro.ir.dialects import arith
+from repro.ir.dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
+from repro.ir.dialects.linalg import LinalgOp
+from repro.ir.dialects.polyufc import SetUncoreCapOp
+from repro.ir.dialects.torch_d import TorchOp
+
+
+def print_module(module: Module) -> str:
+    """Render the whole module as indented text."""
+    printer = _Printer()
+    lines = [f"module @{module.name} {{"]
+    for name, buffer in module.buffers.items():
+        dims = "x".join(str(s) for s in buffer.shape)
+        lines.append(f"  memref @{name} : memref<{dims}x{buffer.dtype!r}>")
+    for param, value in module.params.items():
+        lines.append(f"  param {param} = {value}")
+    for op in module.ops:
+        lines.extend(printer.print_op(op, indent=1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class _Printer:
+    def __init__(self):
+        self._names: Dict[int, str] = {}
+        self._counter = 0
+
+    def _value(self, value: Value) -> str:
+        key = id(value)
+        if key not in self._names:
+            self._names[key] = f"%{self._counter}"
+            self._counter += 1
+        return self._names[key]
+
+    def print_op(self, op: Op, indent: int) -> List[str]:
+        pad = "  " * indent
+        if isinstance(op, AffineForOp):
+            tag = "affine.parallel" if op.parallel else "affine.for"
+            lower = (
+                repr(op.lowers[0])
+                if len(op.lowers) == 1
+                else "max(" + ", ".join(repr(e) for e in op.lowers) + ")"
+            )
+            upper = (
+                repr(op.uppers[0])
+                if len(op.uppers) == 1
+                else "min(" + ", ".join(repr(e) for e in op.uppers) + ")"
+            )
+            head = (
+                f"{pad}{tag} %{op.iv_name} = {lower} to "
+                f"{upper} step {op.step} {{"
+            )
+            lines = [head]
+            for inner in op.body.ops:
+                lines.extend(self.print_op(inner, indent + 1))
+            lines.append(f"{pad}}}")
+            return lines
+        if isinstance(op, AffineLoadOp):
+            subscripts = ", ".join(repr(i) for i in op.indices)
+            return [
+                f"{pad}{self._value(op.result)} = affine.load "
+                f"@{op.buffer.name}[{subscripts}]"
+            ]
+        if isinstance(op, AffineStoreOp):
+            subscripts = ", ".join(repr(i) for i in op.indices)
+            return [
+                f"{pad}affine.store {self._value(op.value)}, "
+                f"@{op.buffer.name}[{subscripts}]"
+            ]
+        if isinstance(op, arith.ConstantOp):
+            return [
+                f"{pad}{self._value(op.result)} = arith.constant {op.value}"
+            ]
+        if isinstance(op, arith.BinaryOp):
+            return [
+                f"{pad}{self._value(op.result)} = arith.{op.kind} "
+                f"{self._value(op.lhs)}, {self._value(op.rhs)}"
+            ]
+        if isinstance(op, arith.UnaryOp):
+            return [
+                f"{pad}{self._value(op.result)} = arith.{op.kind} "
+                f"{self._value(op.operand)}"
+            ]
+        if isinstance(op, SetUncoreCapOp):
+            reason = f' reason="{op.reason}"' if op.reason else ""
+            return [
+                f"{pad}polyufc.set_uncore_cap {{ freq_ghz = "
+                f"{op.freq_ghz:.1f}{reason} }}"
+            ]
+        if isinstance(op, (LinalgOp, TorchOp)):
+            reads = ", ".join(f"@{b.name}" for b in op.buffers_read())
+            writes = ", ".join(f"@{b.name}" for b in op.buffers_written())
+            attrs = {
+                key: value
+                for key, value in op.attrs.items()
+                if value not in (None, "", False)
+            }
+            attr_text = f" {attrs}" if attrs else ""
+            return [
+                f"{pad}{op.dialect}.{op.name} ins({reads}) "
+                f"outs({writes}){attr_text}"
+            ]
+        return [f"{pad}{op!r}"]

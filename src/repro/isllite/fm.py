@@ -1,0 +1,153 @@
+"""Fourier-Motzkin elimination over lists of affine constraints.
+
+Equalities are used as exact substitutions whenever possible; inequalities
+are combined pairwise.  The result is the *rational* projection: it may be
+slightly larger than the integer projection (isl computes the exact integer
+hull).  On the quasi-affine sets produced by the PolyUFC front end the two
+coincide; see DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.isllite.constraint import Constraint
+from repro.isllite.linexpr import LinExpr
+
+#: A constraint that is always false, used to mark infeasible systems.
+FALSE_CONSTRAINT = Constraint(LinExpr.cst(-1))
+
+
+def simplify(constraints: Iterable[Constraint]) -> List[Constraint]:
+    """Drop trivially-true and syntactically dominated constraints.
+
+    Returns ``[FALSE_CONSTRAINT]`` when a trivially false constraint is
+    present, so callers can test infeasibility cheaply.
+    """
+    equalities: List[Constraint] = []
+    by_coeffs: Dict[frozenset, Constraint] = {}
+    for con in constraints:
+        if con.is_trivially_false():
+            return [FALSE_CONSTRAINT]
+        if con.is_trivially_true():
+            continue
+        if con.is_eq:
+            if con not in equalities:
+                equalities.append(con)
+            continue
+        key = frozenset(con.expr.coeffs.items())
+        existing = by_coeffs.get(key)
+        # Same slope: the smaller constant is the tighter ``expr >= 0``.
+        if existing is None or con.expr.const < existing.expr.const:
+            by_coeffs[key] = con
+    result = equalities + list(by_coeffs.values())
+    # Detect directly contradicting inequality pairs e >= 0 and -e - k >= 0.
+    for con in by_coeffs.values():
+        negated_key = frozenset(
+            (name, -coeff) for name, coeff in con.expr.coeffs.items()
+        )
+        other = by_coeffs.get(negated_key)
+        if other is not None and con.expr.const + other.expr.const < 0:
+            return [FALSE_CONSTRAINT]
+    return result
+
+
+def substitute_equality(
+    con: Constraint, name: str, coeff: int, rest: LinExpr
+) -> Constraint:
+    """Substitute using the equality ``coeff * name + rest == 0``."""
+    d = con.expr.coeff(name)
+    if d == 0:
+        return con
+    magnitude = abs(coeff)
+    sign = 1 if coeff > 0 else -1
+    scaled = con.expr * magnitude
+    without = scaled + LinExpr.var(name, -d * magnitude)
+    return Constraint(without + rest * (-d * sign), con.is_eq)
+
+
+def eliminate(constraints: Sequence[Constraint], name: str) -> List[Constraint]:
+    """Eliminate one variable, returning the projected constraint list."""
+    # Prefer an exact substitution through an equality involving ``name``.
+    for con in constraints:
+        if con.is_eq and con.expr.coeff(name) != 0:
+            coeff = con.expr.coeff(name)
+            rest = con.expr + LinExpr.var(name, -coeff)
+            substituted = [
+                substitute_equality(other, name, coeff, rest)
+                for other in constraints
+                if other is not con
+            ]
+            return simplify(substituted)
+
+    lowers: List[Constraint] = []  # coeff > 0:  c*x + r >= 0  ->  x >= -r/c
+    uppers: List[Constraint] = []  # coeff < 0
+    free: List[Constraint] = []
+    for con in constraints:
+        coeff = con.expr.coeff(name)
+        if coeff == 0:
+            free.append(con)
+        elif coeff > 0:
+            lowers.append(con)
+        else:
+            uppers.append(con)
+    combined: List[Constraint] = list(free)
+    for low in lowers:
+        cl = low.expr.coeff(name)
+        for up in uppers:
+            cu = up.expr.coeff(name)
+            combined.append(Constraint(low.expr * (-cu) + up.expr * cl))
+    return simplify(combined)
+
+
+def project(
+    constraints: Sequence[Constraint], names: Iterable[str]
+) -> List[Constraint]:
+    """Eliminate several variables (in the given order)."""
+    current = simplify(constraints)
+    for name in names:
+        if current == [FALSE_CONSTRAINT]:
+            return current
+        current = eliminate(current, name)
+    return current
+
+
+def triangularize(
+    constraints: Sequence[Constraint], dims: Sequence[str]
+) -> List[List[Constraint]]:
+    """Per-level constraint systems for polyhedron scanning.
+
+    ``levels[i]`` constrains ``dims[:i+1]`` (plus any remaining free names
+    such as parameters): it is the input system with ``dims[i+1:]``
+    eliminated.  Enumeration walks level 0 outermost.
+    """
+    levels: List[List[Constraint]] = [list(simplify(constraints))] * len(dims)
+    if not dims:
+        return levels
+    levels = [None] * len(dims)  # type: ignore[list-item]
+    levels[len(dims) - 1] = simplify(constraints)
+    for index in range(len(dims) - 2, -1, -1):
+        levels[index] = eliminate(levels[index + 1], dims[index + 1])
+    return levels
+
+
+def constant_bounds(
+    constraints: Sequence[Constraint], name: str
+) -> Tuple[float, float]:
+    """Rational bounds (lo, hi) for ``name`` from constraints where it is the
+    only variable.  Returns ``(-inf, inf)`` components when unbounded."""
+    lo = float("-inf")
+    hi = float("inf")
+    for con in constraints:
+        coeff = con.expr.coeff(name)
+        if coeff == 0 or con.expr.names() != frozenset({name}):
+            continue
+        bound = -con.expr.const / coeff
+        if con.is_eq:
+            lo = max(lo, bound)
+            hi = min(hi, bound)
+        elif coeff > 0:
+            lo = max(lo, bound)
+        else:
+            hi = min(hi, bound)
+    return lo, hi

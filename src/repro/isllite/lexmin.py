@@ -1,0 +1,56 @@
+"""Lexicographic optimization over sets with fixed parameters.
+
+``lexmin`` exploits the fact that :meth:`BasicSet.enumerate_points` yields
+points in lexicographic order, so the first point is the lexicographic
+minimum.  ``lexmax`` mirrors every dimension (``d -> -d``) and negates the
+result, avoiding a descending scan implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from repro.isllite.linexpr import LinExpr
+from repro.isllite.sets import BasicSet, Set
+
+
+def _mirror(bset: BasicSet) -> BasicSet:
+    constraints = bset.constraints
+    for dim in bset.space.dims:
+        constraints = tuple(
+            c.substitute(dim, LinExpr.var(dim, -1)) for c in constraints
+        )
+    return BasicSet(bset.space, constraints)
+
+
+def lexmin(
+    obj, env: Mapping[str, int] = None
+) -> Optional[Tuple[int, ...]]:
+    """The lexicographically smallest integer point, or None if empty."""
+    if isinstance(obj, BasicSet):
+        return obj.sample(env)
+    if isinstance(obj, Set):
+        best: Optional[Tuple[int, ...]] = None
+        for piece in obj.pieces:
+            candidate = piece.sample(env)
+            if candidate is not None and (best is None or candidate < best):
+                best = candidate
+        return best
+    raise TypeError(f"cannot take lexmin of {type(obj).__name__}")
+
+
+def lexmax(
+    obj, env: Mapping[str, int] = None
+) -> Optional[Tuple[int, ...]]:
+    """The lexicographically largest integer point, or None if empty."""
+    if isinstance(obj, BasicSet):
+        point = _mirror(obj).sample(env)
+        return None if point is None else tuple(-v for v in point)
+    if isinstance(obj, Set):
+        best: Optional[Tuple[int, ...]] = None
+        for piece in obj.pieces:
+            candidate = lexmax(piece, env)
+            if candidate is not None and (best is None or candidate > best):
+                best = candidate
+        return best
+    raise TypeError(f"cannot take lexmax of {type(obj).__name__}")

@@ -1,0 +1,135 @@
+"""Spaces: the (ordered, named) dimensions a set or map lives in."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.isllite.errors import IslError, SpaceMismatchError
+
+
+def _as_names(names: Iterable[str]) -> Tuple[str, ...]:
+    result = tuple(names)
+    for name in result:
+        if not isinstance(name, str) or not name:
+            raise IslError(f"invalid dimension name {name!r}")
+    if len(set(result)) != len(result):
+        raise IslError(f"duplicate dimension names in {result}")
+    return result
+
+
+class Space:
+    """The space of a set: ordered parameters and set dimensions."""
+
+    __slots__ = ("params", "dims")
+
+    def __init__(self, dims: Iterable[str] = (), params: Iterable[str] = ()):
+        object.__setattr__(self, "params", _as_names(params))
+        object.__setattr__(self, "dims", _as_names(dims))
+        overlap = set(self.params) & set(self.dims)
+        if overlap:
+            raise IslError(f"names used as both param and dim: {sorted(overlap)}")
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Space is immutable")
+
+    def all_names(self) -> Tuple[str, ...]:
+        return self.params + self.dims
+
+    def check_compatible(self, other: "Space") -> None:
+        if self.dims != other.dims or self.params != other.params:
+            raise SpaceMismatchError(f"{self} vs {other}")
+
+    def drop_dims(self, names) -> "Space":
+        names = set(names)
+        return Space(
+            dims=[d for d in self.dims if d not in names], params=self.params
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Space):
+            return NotImplemented
+        return self.params == other.params and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash((self.params, self.dims))
+
+    def __repr__(self) -> str:
+        return f"[{', '.join(self.params)}] -> {{ [{', '.join(self.dims)}] }}"
+
+
+class MapSpace:
+    """The space of a map: parameters, input dims and output dims."""
+
+    __slots__ = ("params", "in_dims", "out_dims")
+
+    def __init__(
+        self,
+        in_dims: Iterable[str],
+        out_dims: Iterable[str],
+        params: Iterable[str] = (),
+    ):
+        object.__setattr__(self, "params", _as_names(params))
+        object.__setattr__(self, "in_dims", _as_names(in_dims))
+        object.__setattr__(self, "out_dims", _as_names(out_dims))
+        names = list(self.params) + list(self.in_dims) + list(self.out_dims)
+        if len(set(names)) != len(names):
+            raise IslError(f"overlapping names in map space: {names}")
+
+    def __setattr__(self, name, value):
+        raise AttributeError("MapSpace is immutable")
+
+    def all_names(self) -> Tuple[str, ...]:
+        return self.params + self.in_dims + self.out_dims
+
+    def check_compatible(self, other: "MapSpace") -> None:
+        if (
+            self.params != other.params
+            or self.in_dims != other.in_dims
+            or self.out_dims != other.out_dims
+        ):
+            raise SpaceMismatchError(f"{self} vs {other}")
+
+    def reversed(self) -> "MapSpace":
+        return MapSpace(self.out_dims, self.in_dims, self.params)
+
+    def domain_space(self) -> Space:
+        return Space(self.in_dims, self.params)
+
+    def range_space(self) -> Space:
+        return Space(self.out_dims, self.params)
+
+    def wrapped_space(self) -> Space:
+        """The set space with in and out dims concatenated."""
+        return Space(self.in_dims + self.out_dims, self.params)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MapSpace):
+            return NotImplemented
+        return (
+            self.params == other.params
+            and self.in_dims == other.in_dims
+            and self.out_dims == other.out_dims
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.params, self.in_dims, self.out_dims))
+
+    def __repr__(self) -> str:
+        return (
+            f"[{', '.join(self.params)}] -> "
+            f"{{ [{', '.join(self.in_dims)}] -> [{', '.join(self.out_dims)}] }}"
+        )
+
+
+def fresh_names(base: str, count: int, taken) -> Tuple[str, ...]:
+    """Generate ``count`` names ``base0..`` avoiding the ``taken`` set."""
+    taken = set(taken)
+    result = []
+    index = 0
+    while len(result) < count:
+        candidate = f"{base}{index}"
+        if candidate not in taken:
+            result.append(candidate)
+            taken.add(candidate)
+        index += 1
+    return tuple(result)

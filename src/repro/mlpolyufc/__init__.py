@@ -1,0 +1,28 @@
+"""ML-PolyUFC: multi-level dialect-aware analysis and cap application.
+
+Implements Sec. VI of the paper: characterization at affine granularity,
+aggregation/application of caps at torch / linalg / affine granularity,
+phase-change analysis across dialect levels (Fig. 5), and the pattern-
+rewrite that removes redundant cap calls.
+"""
+
+from repro.mlpolyufc.characterization import (
+    UnitCharacterization,
+    characterize_units,
+    group_affine_units,
+)
+from repro.mlpolyufc.phases import phase_string, phase_transitions
+from repro.mlpolyufc.capping import apply_caps, select_caps, aggregate_cap
+from repro.mlpolyufc.rewrite import remove_redundant_caps
+
+__all__ = [
+    "UnitCharacterization",
+    "characterize_units",
+    "group_affine_units",
+    "phase_string",
+    "phase_transitions",
+    "apply_caps",
+    "select_caps",
+    "aggregate_cap",
+    "remove_redundant_caps",
+]

@@ -1,0 +1,154 @@
+"""Per-unit characterization of an affine module (the MLIR analysis pass).
+
+Analysis always happens at affine granularity (the paper's "granularity for
+analysis": affine IR is where the polyhedral machinery lives); the *unit*
+boundaries come from the requested dialect granularity:
+
+* ``"affine"`` -- every top-level affine loop nest is its own unit,
+* ``"linalg"`` -- nests produced from the same linalg op are one unit
+  (the ``source_index`` tags placed by the lowering),
+* ``"torch"`` -- nests descending from the same torch op are one unit
+  (``torch_source_index`` tags).
+
+Each unit gets PolyUFC-CM counters, OI, a CB/BB characterization, and a
+Sec. V parametric model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.static_model import CacheModelResult, polyufc_cm
+from repro.cache.trace import generate_trace
+from repro.ir.core import IRError, Module, Op
+from repro.ir.dialects.affine import AffineForOp
+from repro.model.parametric import KernelSummary, PolyUFCModel, summary_from_cm
+from repro.poly.scop import extract_scop
+from repro.roofline.characterize import Boundedness
+from repro.roofline.constants import RooflineConstants
+from repro.hw.platform import PlatformSpec
+
+GRANULARITIES = ("affine", "linalg", "torch")
+
+
+@dataclass
+class UnitCharacterization:
+    """One capping unit: ops, counters, model, boundedness."""
+
+    name: str
+    ops: List[Op]
+    omega: int
+    cm: CacheModelResult
+    summary: KernelSummary
+    model: PolyUFCModel
+    parallel: bool
+
+    @property
+    def oi_fpb(self) -> float:
+        return self.summary.oi_fpb
+
+    @property
+    def boundedness(self) -> Boundedness:
+        return self.model.boundedness
+
+    @property
+    def label(self) -> str:
+        return str(self.boundedness)
+
+
+def _unit_key(op: Op, granularity: str):
+    if granularity == "affine":
+        return None  # every op its own unit
+    if granularity == "linalg":
+        return op.attrs.get("source_index")
+    if granularity == "torch":
+        return op.attrs.get("torch_source_index")
+    raise IRError(f"unknown granularity {granularity!r}")
+
+
+def group_affine_units(
+    module: Module, granularity: str = "linalg"
+) -> List[Tuple[str, List[Op]]]:
+    """Group the module's top-level affine nests into capping units."""
+    if granularity not in GRANULARITIES:
+        raise IRError(
+            f"granularity {granularity!r} not in {GRANULARITIES}"
+        )
+    units: List[Tuple[str, List[Op]]] = []
+    open_key = object()  # sentinel that never matches
+    for index, op in enumerate(module.ops):
+        if not isinstance(op, AffineForOp):
+            open_key = object()
+            continue
+        key = _unit_key(op, granularity)
+        source = op.attrs.get("source_op")
+        torch_source = op.attrs.get("torch_source_op")
+        if granularity == "torch" and torch_source is not None:
+            base = f"{torch_source.dialect}.{torch_source.name}"
+        elif granularity != "affine" and source is not None:
+            base = f"{source.dialect}.{source.name}"
+        else:
+            base = "affine.for"
+        if key is not None and units and key == open_key:
+            units[-1][1].append(op)
+        else:
+            units.append((f"{base}@{len(units)}", [op]))
+        open_key = key if key is not None else object()
+    return units
+
+
+def _is_parallel_unit(ops: Sequence[Op]) -> bool:
+    for op in ops:
+        for walked in op.walk():
+            if isinstance(walked, AffineForOp) and walked.parallel:
+                return True
+    return False
+
+
+def characterize_units(
+    module: Module,
+    platform: PlatformSpec,
+    constants: RooflineConstants,
+    granularity: str = "linalg",
+    threads: Optional[int] = None,
+    set_associative: bool = True,
+    max_trace_accesses: int = 60_000_000,
+) -> List[UnitCharacterization]:
+    """Characterize every capping unit of an affine module."""
+    threads = platform.threads if threads is None else threads
+    hierarchy = (
+        platform.hierarchy
+        if set_associative
+        else platform.hierarchy.fully_associative()
+    )
+    scop = extract_scop(module)
+    flops_by_root: Dict[int, int] = {}
+    for statement in scop.statements:
+        root = statement.loops[0]
+        flops_by_root[id(root)] = flops_by_root.get(id(root), 0) + (
+            statement.total_flops(scop.params)
+        )
+    results: List[UnitCharacterization] = []
+    for name, ops in group_affine_units(module, granularity):
+        omega = sum(flops_by_root.get(id(op), 0) for op in ops)
+        parallel = _is_parallel_unit(ops)
+        trace = generate_trace(module, ops, max_accesses=max_trace_accesses)
+        cm = polyufc_cm(trace, hierarchy, threads=threads, parallel=parallel)
+        cores_used = min(threads, platform.cores) if parallel else 1
+        summary = summary_from_cm(
+            name, omega, cm, cores_fraction=cores_used / platform.cores
+        )
+        model = PolyUFCModel(constants, summary)
+        results.append(
+            UnitCharacterization(
+                name=name,
+                ops=list(ops),
+                omega=omega,
+                cm=cm,
+                summary=summary,
+                model=model,
+                parallel=parallel,
+            )
+        )
+    return results

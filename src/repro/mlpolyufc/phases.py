@@ -1,0 +1,49 @@
+"""Phase-change analysis across dialect levels (paper Sec. VI-A, Fig. 5).
+
+A program's characterization sequence -- one CB/BB label per unit at some
+granularity -- is summarized with the paper's Kleene-star notation: runs of
+equal labels collapse (``CB -> BB* -> CB``), and the number of transitions
+quantifies how much a coarser granularity would blur.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def _labels(sequence: Sequence) -> List[str]:
+    return [str(item) for item in sequence]
+
+
+def phase_runs(sequence: Sequence) -> List[Tuple[str, int]]:
+    """Collapse a label sequence into (label, run-length) pairs."""
+    runs: List[Tuple[str, int]] = []
+    for label in _labels(sequence):
+        if runs and runs[-1][0] == label:
+            runs[-1] = (label, runs[-1][1] + 1)
+        else:
+            runs.append((label, 1))
+    return runs
+
+
+def phase_string(sequence: Sequence) -> str:
+    """The paper's regex-style phase summary, e.g. ``CB -> BB* -> CB``."""
+    parts = [
+        label if count == 1 else f"{label}*"
+        for label, count in phase_runs(sequence)
+    ]
+    return " -> ".join(parts)
+
+
+def phase_transitions(sequence: Sequence) -> int:
+    """Number of CB/BB boundary crossings in the sequence."""
+    return max(0, len(phase_runs(sequence)) - 1)
+
+
+def longest_run(sequence: Sequence, label: str) -> int:
+    """Length of the longest run of ``label`` (Fig. 5's 'spans 7 ops')."""
+    best = 0
+    for run_label, count in phase_runs(sequence):
+        if run_label == label:
+            best = max(best, count)
+    return best

@@ -1,0 +1,25 @@
+"""The Sec. V parametric performance/power/energy model.
+
+:class:`repro.model.parametric.PolyUFCModel` implements Eqns 2-11: execution
+time, performance, bandwidth, average power, peak power, energy and EDP, all
+parametric in the uncore frequency cap ``f_c`` and the statically computed
+operational intensity ``I``.
+"""
+
+from repro.model.parametric import (
+    KernelSummary,
+    ModelEstimate,
+    PolyUFCModel,
+    summary_from_cm,
+)
+from repro.model.corescale import CoreScaledModel, JointSetting, joint_search
+
+__all__ = [
+    "KernelSummary",
+    "ModelEstimate",
+    "PolyUFCModel",
+    "summary_from_cm",
+    "CoreScaledModel",
+    "JointSetting",
+    "joint_search",
+]

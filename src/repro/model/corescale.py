@@ -1,0 +1,109 @@
+"""Core-frequency extension of the parametric model (paper Sec. VII-F).
+
+The paper leaves the core domain to the hardware P-state driver but notes
+"the PolyUFC remains adaptable and can be used to manage the core frequency
+domain".  This module provides that extension:
+
+* :class:`CoreScaledModel` wraps a :class:`~repro.model.parametric.
+  PolyUFCModel` and re-parameterizes the flop time and flop power by a core
+  frequency ``f_core`` (time scales with 1/f_core; dynamic core power with
+  the classic f*V^2 ~ f^3 law, normalized at the calibration base clock),
+* :func:`joint_search` sweeps the (core, uncore) grid for the best joint
+  setting under an objective, reusing the same Sec. V estimates.
+
+The ablation harness shows the paper's design point: for CB kernels, core
+scaling dominates the EDP landscape (uncore capping is *on top of* core
+DVFS), while for BB kernels the uncore dimension is the one that matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.model.parametric import PolyUFCModel
+
+
+@dataclass(frozen=True)
+class JointSetting:
+    """One (core, uncore) operating point and its estimates."""
+
+    f_core_ghz: float
+    f_uncore_ghz: float
+    time_s: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.time_s * self.power_w
+
+    @property
+    def edp(self) -> float:
+        return self.energy_j * self.time_s
+
+
+class CoreScaledModel:
+    """A Sec. V model with the core clock as an extra parameter."""
+
+    #: exponent of the dynamic-power-vs-frequency law (f * V^2 with V ~ f)
+    POWER_EXPONENT = 3.0
+
+    def __init__(self, model: PolyUFCModel, base_core_ghz: float):
+        if base_core_ghz <= 0:
+            raise ValueError("base core frequency must be positive")
+        self.model = model
+        self.base_core_ghz = base_core_ghz
+
+    def flop_time_s(self, f_core_ghz: float) -> float:
+        return self.model.flop_time_s() * (self.base_core_ghz / f_core_ghz)
+
+    def time_s(self, f_core_ghz: float, f_uncore_ghz: float) -> float:
+        flop = self.flop_time_s(f_core_ghz)
+        memory = self.model.memory_time_s(f_uncore_ghz)
+        rho = self.model.constants.overlap_rho
+        return max(flop, memory) + rho * min(flop, memory)
+
+    def power_w(self, f_core_ghz: float, f_uncore_ghz: float) -> float:
+        """Uncore power at f_uncore plus the core-scaled flop power."""
+        base_power = self.model.power_w(f_uncore_ghz)
+        constants = self.model.constants
+        flop_power = (
+            constants.p_hat_fpu
+            * self.model.kernel.cores_fraction
+            * min(
+                1.0,
+                self.model.flop_time_s()
+                / max(self.model.time_s(f_uncore_ghz), 1e-30),
+            )
+        )
+        scale = (f_core_ghz / self.base_core_ghz) ** self.POWER_EXPONENT
+        return base_power - flop_power + flop_power * scale
+
+    def setting(self, f_core_ghz: float, f_uncore_ghz: float) -> JointSetting:
+        return JointSetting(
+            f_core_ghz,
+            f_uncore_ghz,
+            self.time_s(f_core_ghz, f_uncore_ghz),
+            self.power_w(f_core_ghz, f_uncore_ghz),
+        )
+
+
+def joint_search(
+    scaled: CoreScaledModel,
+    core_freqs: Sequence[float],
+    uncore_freqs: Sequence[float],
+    objective: str = "edp",
+) -> Tuple[JointSetting, List[JointSetting]]:
+    """Exhaustive joint (core, uncore) search; returns (best, all points)."""
+    if objective not in ("edp", "energy", "performance"):
+        raise ValueError(f"unknown objective {objective!r}")
+    points: List[JointSetting] = [
+        scaled.setting(fc, fu) for fc in core_freqs for fu in uncore_freqs
+    ]
+    key = {
+        "edp": lambda s: s.edp,
+        "energy": lambda s: s.energy_j,
+        "performance": lambda s: s.time_s,
+    }[objective]
+    best = min(points, key=key)
+    return best, points

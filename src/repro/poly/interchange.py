@@ -1,0 +1,113 @@
+"""Loop interchange on perfectly-nested rectangular bands.
+
+Interchange is the other half of strip-mine-and-interchange tiling; exposed
+separately it lets users move a stride-1 dimension innermost (locality) or
+a parallel dimension outermost.  Legality follows the classic rule: the
+permuted dependence direction vectors must remain lexicographically
+non-negative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.ir.core import IRError, Module
+from repro.ir.dialects.affine import AffineForOp, perfectly_nested_band
+from repro.poly.dependences import Dependence, nest_dependences
+from repro.poly.scop import extract_scop
+
+
+def permutation_is_legal(
+    deps: Sequence[Dependence], permutation: Sequence[int]
+) -> bool:
+    """Do all dependence vectors stay lexicographically non-negative?
+
+    Components beyond a vector's length are unconstrained.  Unknown
+    components (``'*'``) make the answer conservatively False unless an
+    earlier permuted component is already strictly positive.
+    """
+    for dep in deps:
+        strictly_positive = False
+        for new_position in permutation:
+            if new_position >= len(dep.directions):
+                continue
+            component = dep.directions[new_position]
+            if strictly_positive:
+                break
+            if component == 0:
+                continue
+            if component == "0+":
+                # may be zero or positive: cannot certify strictness, but
+                # never negative -- keep scanning
+                continue
+            if component == "*":
+                return False
+            if isinstance(component, int):
+                if component < 0:
+                    return False
+                strictly_positive = True
+    return True
+
+
+def interchange(
+    module: Module, nest_index: int, permutation: Sequence[int]
+) -> Module:
+    """Permute the band loops of one top-level nest.
+
+    ``permutation[k]`` names the original band level that moves to level
+    ``k``.  The band must be rectangular (no bound may reference another
+    band iv).  Raises on illegal permutations.
+    """
+    roots = [op for op in module.ops if isinstance(op, AffineForOp)]
+    if not (0 <= nest_index < len(roots)):
+        raise IRError(f"no affine nest #{nest_index}")
+    root = roots[nest_index]
+    band = perfectly_nested_band(root)
+    permutation = list(permutation)
+    if sorted(permutation) != list(range(len(band))):
+        raise IRError(
+            f"permutation {permutation} does not cover the depth-"
+            f"{len(band)} band"
+        )
+    iv_names = {loop.iv_name for loop in band}
+    for loop in band:
+        for expr in loop.lowers + loop.uppers:
+            if expr.names() & iv_names:
+                raise IRError(
+                    "interchange requires a rectangular band "
+                    f"(bound {expr!r} references a band iv)"
+                )
+    scop = extract_scop(module)
+    deps = nest_dependences(scop, root)
+    if not permutation_is_legal(deps, permutation):
+        raise IRError(
+            f"permutation {permutation} violates dependences {deps}"
+        )
+
+    permuted: List[AffineForOp] = []
+    for level in permutation:
+        template = band[level]
+        fresh = AffineForOp(
+            template.iv_name,
+            list(template.lowers),
+            list(template.uppers),
+            template.step,
+            template.parallel,
+        )
+        permuted.append(fresh)
+    for outer, inner in zip(permuted, permuted[1:]):
+        outer.body.ops = [inner]
+    permuted[-1].body.ops = band[-1].body.ops
+    permuted[0].attrs.update(
+        {
+            key: root.attrs[key]
+            for key in ("source_op", "source_index",
+                        "torch_source_op", "torch_source_index")
+            if key in root.attrs
+        }
+    )
+
+    result = module.clone_structure(f"{module.name}.interchanged")
+    for op in module.ops:
+        result.append(permuted[0] if op is root else op)
+    return result

@@ -1,0 +1,29 @@
+"""Performance and power rooflines (Williams et al. / Choi et al.).
+
+The paper needs *both* rooflines and obtains them by one-time
+microbenchmarking (footnote 3); :mod:`repro.roofline.microbench` does the
+same against the simulated platforms.  :mod:`repro.roofline.characterize`
+implements the Sec. IV-D bound-and-bottleneck classification.
+"""
+
+from repro.roofline.constants import RooflineConstants, LinearFit, InverseFit
+from repro.roofline.microbench import calibrate_platform
+from repro.roofline.characterize import (
+    Characterization,
+    Boundedness,
+    characterize,
+    attainable_performance,
+    power_ceiling,
+)
+
+__all__ = [
+    "RooflineConstants",
+    "LinearFit",
+    "InverseFit",
+    "calibrate_platform",
+    "Characterization",
+    "Boundedness",
+    "characterize",
+    "attainable_performance",
+    "power_ceiling",
+]

@@ -1,0 +1,98 @@
+"""Bound-and-bottleneck characterization against the rooflines (Sec. IV-D).
+
+A kernel with operational intensity ``I`` is **compute-bound (CB)** when
+``I >= B^t_DRAM`` and **bandwidth-bound (BB)** otherwise.  Beyond the
+binary label, the characterization records the gaps the paper highlights
+(footnote 18): distance to the compute/bandwidth roofs and to the machine
+balance point.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.roofline.constants import RooflineConstants
+
+
+class Boundedness(enum.Enum):
+    """The two roofline regimes."""
+
+    COMPUTE_BOUND = "CB"
+    BANDWIDTH_BOUND = "BB"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """A kernel's position against the performance and power rooflines."""
+
+    oi_fpb: float
+    boundedness: Boundedness
+    machine_balance_fpb: float
+    attainable_flops: float  # performance roof at this OI (flops/s)
+    peak_power_w: float  # power ceiling at this OI, max uncore f
+    reuse_gap_fpb: float  # distance to balance: I - B (positive for CB)
+
+    @property
+    def is_compute_bound(self) -> bool:
+        return self.boundedness is Boundedness.COMPUTE_BOUND
+
+    @property
+    def is_bandwidth_bound(self) -> bool:
+        return self.boundedness is Boundedness.BANDWIDTH_BOUND
+
+
+def attainable_performance(
+    constants: RooflineConstants, oi_fpb: float, f_ghz: float = None
+) -> float:
+    """The classic roofline: min(peak flops, BW(f) * I)."""
+    bandwidth = (
+        constants.peak_bandwidth
+        if f_ghz is None
+        else constants.bandwidth_at(f_ghz)
+    )
+    if math.isinf(oi_fpb):
+        return constants.peak_flops
+    return min(constants.peak_flops, bandwidth * oi_fpb)
+
+
+def power_ceiling(
+    constants: RooflineConstants, oi_fpb: float, f_ghz: float
+) -> float:
+    """Eqn 8: the total peak-power ceiling, specialized by CB/BB."""
+    balance = constants.b_t_dram
+    p_mem = constants.p_hat_dram_fit(f_ghz)
+    p_fpu = constants.p_hat_fpu
+    if math.isinf(oi_fpb):
+        return constants.p_con + p_fpu
+    if oi_fpb >= balance:  # CB
+        return constants.p_con + p_mem * (balance / oi_fpb) + p_fpu
+    return constants.p_con + p_mem + p_fpu * (oi_fpb / balance)  # BB
+
+
+def characterize(
+    constants: RooflineConstants, oi_fpb: float
+) -> Characterization:
+    """Classify a kernel by OI against the fitted rooflines."""
+    if oi_fpb < 0:
+        raise ValueError(f"negative operational intensity {oi_fpb}")
+    balance = constants.b_t_dram
+    bounded = (
+        Boundedness.COMPUTE_BOUND
+        if oi_fpb >= balance
+        else Boundedness.BANDWIDTH_BOUND
+    )
+    f_max_fit = constants.saturation_freq()
+    f_for_peak = f_max_fit if math.isfinite(f_max_fit) else 1.0
+    return Characterization(
+        oi_fpb=oi_fpb,
+        boundedness=bounded,
+        machine_balance_fpb=balance,
+        attainable_flops=attainable_performance(constants, oi_fpb),
+        peak_power_w=power_ceiling(constants, oi_fpb, f_for_peak),
+        reuse_gap_fpb=oi_fpb - balance,
+    )

@@ -1,0 +1,104 @@
+"""ASCII rendering of the performance roofline with kernels plotted on it.
+
+Terminal-friendly stand-in for the paper's Fig. 6 scatter plots: log-log
+axes, the bandwidth diagonal and compute ceiling drawn from a platform's
+fitted constants, and each kernel placed at (OI, attainable performance)
+with a CB/BB marker.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.roofline.characterize import attainable_performance
+from repro.roofline.constants import RooflineConstants
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel to plot."""
+
+    name: str
+    oi_fpb: float
+    perf_flops: float  # measured/estimated performance; 0 = use roof value
+
+    @property
+    def marker(self) -> str:
+        return self.name[0].upper() if self.name else "?"
+
+
+def render_roofline(
+    constants: RooflineConstants,
+    points: Sequence[RooflinePoint],
+    width: int = 68,
+    height: int = 20,
+    oi_range: Tuple[float, float] = (0.05, 512.0),
+) -> str:
+    """Render the roofline and the points as fixed-width text."""
+    lo_oi, hi_oi = oi_range
+    log_lo, log_hi = math.log10(lo_oi), math.log10(hi_oi)
+    peak = constants.peak_flops
+    floor_perf = attainable_performance(constants, lo_oi)
+    log_perf_lo = math.floor(math.log10(max(floor_perf, 1.0)))
+    log_perf_hi = math.ceil(math.log10(peak * 1.2))
+
+    def column_of(oi: float) -> int:
+        fraction = (math.log10(oi) - log_lo) / (log_hi - log_lo)
+        return max(0, min(width - 1, int(round(fraction * (width - 1)))))
+
+    def row_of(perf: float) -> int:
+        fraction = (math.log10(max(perf, 10.0**log_perf_lo)) - log_perf_lo) / (
+            log_perf_hi - log_perf_lo
+        )
+        return max(0, min(height - 1, int(round(fraction * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # roofline itself
+    for column in range(width):
+        oi = 10.0 ** (log_lo + (log_hi - log_lo) * column / (width - 1))
+        roof = attainable_performance(constants, oi)
+        symbol = "-" if roof >= 0.999 * peak else "/"
+        grid[row_of(roof)][column] = symbol
+
+    # the machine-balance ridge
+    ridge = column_of(constants.b_t_dram)
+    for row in range(height):
+        if grid[row][ridge] == " ":
+            grid[row][ridge] = ":"
+
+    legend: List[str] = []
+    for point in points:
+        perf = point.perf_flops or attainable_performance(
+            constants, point.oi_fpb
+        )
+        row, column = row_of(perf), column_of(point.oi_fpb)
+        grid[row][column] = point.marker
+        side = "CB" if point.oi_fpb >= constants.b_t_dram else "BB"
+        legend.append(
+            f"  {point.marker} = {point.name} (OI {point.oi_fpb:.2f}, {side})"
+        )
+
+    lines = [
+        f"performance roofline: peak {peak / 1e9:.1f} Gflop/s, "
+        f"BW {constants.peak_bandwidth / 1e9:.1f} GB/s, "
+        f"balance {constants.b_t_dram:.2f} FpB (':' ridge)"
+    ]
+    for row in range(height - 1, -1, -1):
+        prefix = f"{10.0 ** (log_perf_lo + (log_perf_hi - log_perf_lo) * row / (height - 1)) / 1e9:8.1f}G |"
+        lines.append(prefix + "".join(grid[row]))
+    axis = " " * 10 + "+" + "-" * width
+    lines.append(axis)
+    tick_line = [" "] * (width + 11)
+    for oi in (0.1, 1.0, 10.0, 100.0):
+        if lo_oi <= oi <= hi_oi:
+            position = 11 + column_of(oi)
+            label = f"{oi:g}"
+            for offset, char in enumerate(label):
+                if position + offset < len(tick_line):
+                    tick_line[position + offset] = char
+    lines.append("".join(tick_line) + "  OI (FpB)")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Tests for the exact polyhedral formulation of PolyUFC-CM.
+
+The exact model evaluates the paper's set-and-map formulation directly;
+these tests check its artifacts (schedule maps, quasi-affine line/set maps,
+COLDMISS) and validate that the scalable streaming evaluation in
+``static_model`` reproduces it exactly on small kernels.
+"""
+
+import pytest
+
+from repro.benchsuite.polybench import POLYBENCH_BUILDERS
+from repro.cache import (
+    CacheHierarchy,
+    CacheLevelConfig,
+    generate_trace,
+    polyufc_cm,
+)
+from repro.cache.polyhedral_model import (
+    ExactPolyhedralCM,
+    exact_first_level_counts,
+    line_map_for,
+    schedule_map_for,
+    set_map_for,
+)
+from repro.ir import F32, F64, Module
+from repro.ir.builder import AffineBuilder
+from repro.isllite import LinExpr
+from repro.poly import extract_scop
+
+
+def stream_module(n=12, dtype=F64):
+    module = Module("stream")
+    a = module.add_buffer("A", (n,), dtype)
+    b = module.add_buffer("B", (n,), dtype)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, n):
+        builder.store(builder.load(a, ["i"]), b, ["i"])
+    return module
+
+
+def small_hier(lines=4, assoc=2):
+    return CacheHierarchy((CacheLevelConfig("L1", lines * 64, 64, assoc),))
+
+
+class TestArtifacts:
+    def test_schedule_map_orders_instances(self):
+        scop = extract_scop(stream_module())
+        statement = scop.statements[0]
+        smap = schedule_map_for(statement, 1, 0)
+        early = smap.image_of((2,), {}).sample()
+        late = smap.image_of((7,), {}).sample()
+        assert early < late
+
+    def test_schedule_map_orders_accesses_within_instance(self):
+        scop = extract_scop(stream_module())
+        statement = scop.statements[0]
+        load = schedule_map_for(statement, 1, 0).image_of((3,), {}).sample()
+        store = schedule_map_for(statement, 1, 1).image_of((3,), {}).sample()
+        assert load < store
+
+    def test_schedule_map_orders_statements(self):
+        module = Module("two")
+        a = module.add_buffer("A", (8,), F64)
+        builder = AffineBuilder(module)
+        with builder.loop("i", 0, 8):
+            builder.store(builder.const(0.0), a, ["i"])
+        with builder.loop("j", 0, 8):
+            builder.store(builder.const(1.0), a, ["j"])
+        scop = extract_scop(module)
+        first = schedule_map_for(scop.statements[0], 1, 0)
+        second = schedule_map_for(scop.statements[1], 1, 0)
+        assert first.image_of((7,), {}).sample() < (
+            second.image_of((0,), {}).sample()
+        )
+
+    def test_line_map_floor_division(self):
+        scop = extract_scop(stream_module(n=32, dtype=F64))
+        statement = scop.statements[0]
+        lmap = line_map_for(statement, 0, {"A": 0, "B": 2048}, 64)
+        # element i of A (8 bytes) lives on line floor(8i/64)
+        assert lmap.image_of((0,), {}).sample() == (0,)
+        assert lmap.image_of((7,), {}).sample() == (0,)
+        assert lmap.image_of((8,), {}).sample() == (1,)
+        assert lmap.image_of((31,), {}).sample() == (3,)
+
+    def test_line_map_respects_buffer_base(self):
+        scop = extract_scop(stream_module(n=8, dtype=F64))
+        statement = scop.statements[0]
+        store_map = line_map_for(statement, 1, {"A": 0, "B": 128}, 64)
+        assert store_map.image_of((0,), {}).sample() == (2,)
+
+    def test_set_map_modulo(self):
+        scop = extract_scop(stream_module(n=64, dtype=F64))
+        statement = scop.statements[0]
+        lmap = line_map_for(statement, 0, {"A": 0, "B": 4096}, 64)
+        smap = set_map_for(lmap, 2)
+        # line(i) = i//8; set alternates every 8 elements
+        assert smap.image_of((0,), {}).contains((0,))
+        assert smap.image_of((8,), {}).contains((1,))
+        assert smap.image_of((16,), {}).contains((0,))
+
+    def test_layout_is_line_aligned(self):
+        scop = extract_scop(stream_module(n=3, dtype=F64))
+        model = ExactPolyhedralCM(scop, 64)
+        offsets = sorted(model.element_offsets.values())
+        assert all(offset % 64 == 0 for offset in offsets)
+        assert len(set(offsets)) == 2
+
+
+class TestColdMisses:
+    def test_stream_cold_misses(self):
+        scop = extract_scop(stream_module(n=16, dtype=F64))
+        model = ExactPolyhedralCM(scop, 64)
+        # A and B each span 2 lines of 8 f64s
+        assert model.cold_misses() == 4
+
+    def test_cold_matches_streaming_model(self):
+        scop = extract_scop(stream_module(n=24, dtype=F32))
+        model = ExactPolyhedralCM(scop, 64)
+        trace = generate_trace(stream_module(n=24, dtype=F32))
+        cm = polyufc_cm(trace, small_hier(lines=64, assoc=8))
+        assert model.cold_misses() == cm.levels[0].cold_misses
+
+    def test_first_access_schedule_is_lexmin(self):
+        scop = extract_scop(stream_module(n=16, dtype=F64))
+        model = ExactPolyhedralCM(scop, 64)
+        first_line0 = model.first_access_schedule(0)
+        stream = model.scheduled_stream()
+        expected = min(s for s, line, _ in stream if line == 0)
+        assert first_line0 == expected
+
+
+class TestAgainstStreamingModel:
+    def small_kernels(self):
+        yield stream_module(n=20, dtype=F64)
+        gemm = POLYBENCH_BUILDERS["gemm"](ni=6, nj=5, nk=4)
+        yield gemm
+        mvt = POLYBENCH_BUILDERS["mvt"](n=7)
+        yield mvt
+        tri = Module("tri")
+        a = tri.add_buffer("A", (10, 10), F64)
+        builder = AffineBuilder(tri)
+        with builder.loop("i", 0, 10):
+            with builder.loop("j", 0, LinExpr.var("i") + 1):
+                builder.store(builder.const(0.0), a, ["i", "j"])
+        yield tri
+
+    @pytest.mark.parametrize("config", [(4, 1), (4, 2), (8, 2), (16, 4)])
+    def test_exact_equals_streaming_on_small_kernels(self, config):
+        lines, assoc = config
+        hierarchy = small_hier(lines, assoc)
+        for module in self.small_kernels():
+            scop = extract_scop(module)
+            exact = exact_first_level_counts(scop, hierarchy)
+            trace = generate_trace(module)
+            streaming = polyufc_cm(trace, hierarchy)
+            assert exact.accesses == streaming.levels[0].accesses, module.name
+            assert exact.cold_misses == streaming.levels[0].cold_misses, (
+                module.name
+            )
+            assert exact.capacity_conflict_misses == (
+                streaming.levels[0].capacity_conflict_misses
+            ), module.name
+
+    def test_stream_order_matches_trace(self):
+        module = stream_module(n=10, dtype=F64)
+        scop = extract_scop(module)
+        model = ExactPolyhedralCM(scop, 64)
+        symbolic = [line for _s, line, _w in model.scheduled_stream()]
+        trace = generate_trace(module)
+        concrete = trace.line_ids(64).tolist()
+        assert symbolic == concrete
+
+    def test_write_flags_preserved(self):
+        module = stream_module(n=4, dtype=F64)
+        scop = extract_scop(module)
+        model = ExactPolyhedralCM(scop, 64)
+        flags = [w for _s, _l, w in model.scheduled_stream()]
+        assert flags == [False, True] * 4

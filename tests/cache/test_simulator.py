@@ -1,0 +1,159 @@
+"""Unit tests for the hardware cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    AccessTrace,
+    CacheHierarchy,
+    CacheLevelConfig,
+    simulate_hierarchy,
+)
+from repro.ir.core import Buffer, F64
+
+
+def synthetic_trace(offsets, writes=None, element_bytes=8, buffer_len=None):
+    """A trace over a single synthetic buffer."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    length = buffer_len or int(offsets.max()) + 1
+    buffer = Buffer("synthetic", (length,), F64)
+    if writes is None:
+        writes = np.zeros(len(offsets), dtype=bool)
+    else:
+        writes = np.asarray(writes, dtype=bool)
+    return AccessTrace(
+        [buffer],
+        np.zeros(len(offsets), dtype=np.int32),
+        offsets,
+        writes,
+    )
+
+
+def small_hierarchy(l1_lines=4, assoc=2, levels=1):
+    configs = []
+    size = l1_lines * 64
+    for index in range(levels):
+        configs.append(
+            CacheLevelConfig(f"L{index + 1}", size, 64, assoc)
+        )
+        size *= 4
+    return CacheHierarchy(tuple(configs))
+
+
+class TestLevelConfig:
+    def test_derived_counts(self):
+        config = CacheLevelConfig("L1", 8 * 1024, 64, 8)
+        assert config.num_lines == 128
+        assert config.num_sets == 16
+
+    def test_divisibility_check(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig("L1", 1000, 64, 8)
+
+    def test_hierarchy_checks(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(())
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                (
+                    CacheLevelConfig("L1", 1024, 64, 2),
+                    CacheLevelConfig("L2", 1024, 64, 2),
+                )
+            )
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                (
+                    CacheLevelConfig("L1", 1024, 64, 2),
+                    CacheLevelConfig("L2", 4096, 128, 2),
+                )
+            )
+
+    def test_fully_associative_variant(self):
+        hier = small_hierarchy(l1_lines=8, assoc=2, levels=2)
+        fa = hier.fully_associative()
+        assert all(l.num_sets == 1 for l in fa.levels)
+        assert [l.size_bytes for l in fa.levels] == [
+            l.size_bytes for l in hier.levels
+        ]
+
+
+class TestSingleLevel:
+    def test_cold_misses_only(self):
+        # 4 distinct lines, cache holds 4 lines: all cold, repeats hit
+        trace = synthetic_trace([0, 8, 16, 24, 0, 8, 16, 24])
+        sim = simulate_hierarchy(trace, small_hierarchy())
+        assert sim.levels[0].misses == 4
+        assert sim.levels[0].hits == 4
+
+    def test_lru_eviction(self):
+        # one set (stride 64 bytes * num_sets keeps same set), assoc 2
+        hier = CacheHierarchy((CacheLevelConfig("L1", 2 * 64, 64, 2),))
+        # lines 0,1,2 map to set 0 of a single-set cache; LRU evicts 0
+        trace = synthetic_trace([0, 8, 16, 0])
+        sim = simulate_hierarchy(trace, hier)
+        assert sim.levels[0].misses == 4  # 0,1,2 cold + 0 again after evict
+
+    def test_lru_recency_update(self):
+        hier = CacheHierarchy((CacheLevelConfig("L1", 2 * 64, 64, 2),))
+        # touch 0, 1, re-touch 0 (now MRU), then 2 evicts 1 not 0
+        trace = synthetic_trace([0, 8, 0, 16, 0])
+        sim = simulate_hierarchy(trace, hier)
+        assert sim.levels[0].misses == 3
+        assert sim.levels[0].hits == 2
+
+    def test_writeback_counted_on_dirty_eviction(self):
+        hier = CacheHierarchy((CacheLevelConfig("L1", 1 * 64, 64, 1),))
+        trace = synthetic_trace([0, 8], writes=[True, False])
+        sim = simulate_hierarchy(trace, hier)
+        assert sim.levels[0].writebacks == 1  # dirty line 0 evicted by line 1
+
+    def test_flush_writebacks(self):
+        hier = CacheHierarchy((CacheLevelConfig("L1", 4 * 64, 64, 4),))
+        trace = synthetic_trace([0, 8], writes=[True, True])
+        sim = simulate_hierarchy(trace, hier)
+        assert sim.levels[0].writebacks == 2  # both flushed at kernel end
+
+    def test_set_mapping_avoids_conflicts(self):
+        # 2 sets: lines 0,2 -> set 0; line 1 -> set 1. assoc 1.
+        hier = CacheHierarchy((CacheLevelConfig("L1", 2 * 64, 64, 1),))
+        trace = synthetic_trace([0, 8, 0, 8])  # lines 0 and 1, disjoint sets
+        sim = simulate_hierarchy(trace, hier)
+        assert sim.levels[0].misses == 2
+        conflict = synthetic_trace([0, 16, 0, 16])  # lines 0 and 2 collide
+        sim2 = simulate_hierarchy(conflict, hier)
+        assert sim2.levels[0].misses == 4
+
+
+class TestHierarchy:
+    def test_filtering(self):
+        hier = small_hierarchy(l1_lines=2, assoc=1, levels=2)
+        # L1: 2 sets assoc 1; lines 0..3: 0,2 -> set 0; 1,3 -> set 1
+        trace = synthetic_trace([0, 16, 0, 16])  # ping-pong set 0
+        sim = simulate_hierarchy(trace, hier)
+        assert sim.levels[0].misses == 4
+        # L2 holds both lines: 2 cold misses then hits
+        assert sim.levels[1].accesses == 4
+        assert sim.levels[1].misses == 2
+
+    def test_dram_traffic(self):
+        hier = small_hierarchy(levels=2)
+        trace = synthetic_trace(np.arange(0, 800, 8), writes=None)
+        sim = simulate_hierarchy(trace, hier)
+        assert sim.dram_fetch_bytes == sim.llc.misses * 64
+        assert sim.dram_bytes >= sim.dram_fetch_bytes
+
+    def test_total_accesses(self):
+        trace = synthetic_trace([0, 8, 16])
+        sim = simulate_hierarchy(trace, small_hierarchy())
+        assert sim.total_accesses == 3
+        assert sim.levels[0].accesses == 3
+
+    def test_inclusive_reload(self):
+        """After capacity eviction everywhere, a re-access misses everywhere."""
+        hier = small_hierarchy(l1_lines=2, assoc=2, levels=2)
+        llc_lines = hier.levels[1].num_lines
+        span = (llc_lines + 4) * 8  # element stride 8 = one per line
+        offsets = list(range(0, span * 8, 8)) + [0]
+        trace = synthetic_trace(offsets)
+        sim = simulate_hierarchy(trace, hier)
+        assert sim.levels[1].misses > hier.levels[1].num_lines

@@ -1,0 +1,145 @@
+"""Unit tests for trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.cache import generate_trace
+from repro.cache.trace import TraceBudgetExceeded
+from repro.ir import F32, F64, IRError, Module, lower_linalg_to_affine
+from repro.ir.builder import AffineBuilder
+from repro.ir.dialects.linalg import FillOp, MatmulOp
+from repro.isllite import LinExpr
+
+
+def stream_module(n=16):
+    module = Module("stream")
+    a = module.add_buffer("A", (n,), F32)
+    b = module.add_buffer("B", (n,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, n):
+        builder.store(builder.load(a, ["i"]), b, ["i"])
+    return module
+
+
+def test_stream_trace_order_and_flags():
+    trace = generate_trace(stream_module(4))
+    assert len(trace) == 8
+    names = [trace.buffers[i].name for i in trace.buffer_ids]
+    assert names == ["A", "B"] * 4
+    assert trace.is_write.tolist() == [False, True] * 4
+    assert trace.offsets.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_line_ids_buffer_separation():
+    trace = generate_trace(stream_module(16))
+    lines = trace.line_ids(64)
+    a_lines = {l for l, i in zip(lines, trace.buffer_ids) if i == 0}
+    b_lines = {l for l, i in zip(lines, trace.buffer_ids) if i == 1}
+    assert a_lines.isdisjoint(b_lines)
+    assert len(a_lines) == 1  # 16 f32 = 64 bytes = one line
+
+
+def test_footprint():
+    trace = generate_trace(stream_module(16))
+    assert trace.footprint_bytes() == 2 * 16 * 4
+
+
+def test_matmul_trace_length():
+    module = Module("mm")
+    n = 6
+    a = module.add_buffer("A", (n, n), F32)
+    b = module.add_buffer("B", (n, n), F32)
+    c = module.add_buffer("C", (n, n), F32)
+    module.append(FillOp(c, 0.0))
+    module.append(MatmulOp(a, b, c))
+    affine = lower_linalg_to_affine(module)
+    trace = generate_trace(affine)
+    assert len(trace) == n * n + 4 * n**3  # fill stores + 4 accesses/iter
+
+
+def test_trace_subset_of_ops():
+    module = Module("mm")
+    n = 6
+    a = module.add_buffer("A", (n, n), F32)
+    b = module.add_buffer("B", (n, n), F32)
+    c = module.add_buffer("C", (n, n), F32)
+    module.append(FillOp(c, 0.0))
+    module.append(MatmulOp(a, b, c))
+    affine = lower_linalg_to_affine(module)
+    trace = generate_trace(affine, ops=[affine.ops[0]])
+    assert len(trace) == n * n
+
+
+def test_trace_matches_interpreter_order_scalar_path():
+    """Imperfect nests fall back to the scalar walker; order must match."""
+    module = Module("imperfect")
+    x = module.add_buffer("x", (3, 4), F32)
+    out = module.add_buffer("out", (3,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, 3):
+        builder.store(builder.const(0.0), out, ["i"])
+        with builder.loop("j", 0, 4):
+            val = builder.add(
+                builder.load(out, ["i"]), builder.load(x, ["i", "j"])
+            )
+            builder.store(val, out, ["i"])
+    trace = generate_trace(module)
+    # per i: out store, then 4x (out load, x load, out store)
+    assert len(trace) == 3 * (1 + 4 * 3)
+    first_block = [
+        (trace.buffers[b].name, bool(w))
+        for b, w in zip(trace.buffer_ids[:4], trace.is_write[:4])
+    ]
+    assert first_block == [
+        ("out", True), ("out", False), ("x", False), ("out", True)
+    ]
+
+
+def test_strided_subscripts():
+    module = Module("strided")
+    a = module.add_buffer("A", (64,), F64)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, 8):
+        builder.store(
+            builder.const(0.0), a, [LinExpr.var("i") * 8 + 3]
+        )
+    trace = generate_trace(module)
+    assert trace.offsets.tolist() == [3, 11, 19, 27, 35, 43, 51, 59]
+
+
+def test_composite_bounds_traced():
+    module = Module("tiles")
+    a = module.add_buffer("A", (20,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("t", 0, 3):
+        with builder.loop(
+            "i",
+            [LinExpr.var("t") * 8],
+            [20, LinExpr.var("t") * 8 + 8],
+        ):
+            builder.store(builder.const(0.0), a, ["i"])
+    trace = generate_trace(module)
+    assert trace.offsets.tolist() == list(range(20))
+
+
+def test_budget_enforced():
+    with pytest.raises(TraceBudgetExceeded):
+        generate_trace(stream_module(64), max_accesses=10)
+
+
+def test_empty_loop():
+    module = Module("empty")
+    a = module.add_buffer("A", (4,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 3, 3):
+        builder.store(builder.const(0.0), a, ["i"])
+    trace = generate_trace(module)
+    assert len(trace) == 0
+
+
+def test_linalg_op_rejected():
+    module = Module("lin")
+    c = module.add_buffer("C", (4, 4), F32)
+    module.append(FillOp(c, 0.0))
+    with pytest.raises(IRError):
+        generate_trace(module)

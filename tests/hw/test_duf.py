@@ -1,0 +1,67 @@
+"""Tests for the DUF-style dynamic uncore scaler."""
+
+import pytest
+
+from repro.hw import get_platform, run_capped_sequence
+from repro.hw.duf import DufConfig, run_duf_sequence
+from tests.hw.test_execution import bb_workload, cb_workload
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return get_platform("rpl")
+
+
+def test_bb_settles_high(platform):
+    result = run_duf_sequence(platform, [bb_workload()] * 30)
+    assert result.runs[-1].f_uncore_ghz >= 0.7 * platform.uncore.f_max_ghz
+
+
+def test_cb_settles_low(platform):
+    result = run_duf_sequence(platform, [cb_workload()] * 30)
+    assert result.runs[-1].f_uncore_ghz <= 0.5 * platform.uncore.f_max_ghz
+
+
+def test_adjustments_cost_time(platform):
+    """Each driver write charges the platform's cap overhead."""
+    loose = run_duf_sequence(
+        platform, [cb_workload()] * 20, DufConfig(deadband_ghz=5.0)
+    )
+    tight = run_duf_sequence(
+        platform, [cb_workload()] * 20, DufConfig(deadband_ghz=0.05)
+    )
+    assert loose.cap_switches == 0
+    assert tight.cap_switches >= 1
+
+
+def test_deadband_suppresses_thrash(platform):
+    result = run_duf_sequence(
+        platform, [cb_workload()] * 50, DufConfig(deadband_ghz=0.3)
+    )
+    # once settled, the frequency stops moving
+    assert result.cap_switches <= 5
+
+
+def test_static_cap_competitive_with_duf(platform):
+    """Sec. VII-F: inter-kernel static capping matches or beats intra-kernel
+    dynamic scaling on a phase-stable kernel sequence."""
+    workloads = [cb_workload(), bb_workload()] * 30
+    duf = run_duf_sequence(platform, workloads)
+    # compiler-chosen static caps: low for CB, saturation for BB
+    f_sat = platform.bandwidth_saturation_freq()
+    caps = [
+        (wl, 1.2 if wl.name == "cb" else f_sat) for wl in workloads
+    ]
+    capped = run_capped_sequence(platform, caps, noisy=False)
+    assert capped.edp <= duf.edp * 1.05
+    assert capped.time_s <= duf.time_s * 1.05
+
+
+def test_runs_and_totals_consistent(platform):
+    result = run_duf_sequence(platform, [bb_workload()] * 5)
+    assert result.time_s == pytest.approx(
+        sum(r.time_s for r in result.runs)
+    )
+    assert result.energy_j == pytest.approx(
+        sum(r.energy_j for r in result.runs)
+    )

@@ -1,0 +1,236 @@
+"""Tests for the execution model, governor and counters."""
+
+import pytest
+
+from repro.hw import (
+    GovernorConfig,
+    KernelWorkload,
+    broadwell_sim,
+    execute_fixed,
+    papi_measure,
+    raptorlake_sim,
+    rapl_measure,
+    run_capped_sequence,
+    run_governed_sequence,
+)
+from repro.hw.execution import compute_time_s, memory_time_s
+
+
+def cb_workload(name="cb"):
+    """Flop-heavy workload."""
+    return KernelWorkload(
+        name=name,
+        flops=50_000_000,
+        level_accesses=(1_000_000, 2_000, 500),
+        dram_fetch_bytes=32_000,
+        dram_writeback_bytes=0,
+        dram_lines=500,
+        parallel=True,
+        threads=20,
+    )
+
+
+def bb_workload(name="bb"):
+    """Streaming workload."""
+    nbytes = 16_000_000
+    return KernelWorkload(
+        name=name,
+        flops=500_000,
+        level_accesses=(nbytes // 8, nbytes // 64, nbytes // 64),
+        dram_fetch_bytes=nbytes,
+        dram_writeback_bytes=nbytes // 4,
+        dram_lines=(nbytes + nbytes // 4) // 64,
+        parallel=True,
+        threads=20,
+    )
+
+
+class TestExecuteFixed:
+    def test_deterministic_noise(self):
+        platform = raptorlake_sim()
+        a = execute_fixed(platform, cb_workload(), 2.0)
+        b = execute_fixed(platform, cb_workload(), 2.0)
+        assert a.time_s == b.time_s
+        assert a.energy_j == b.energy_j
+
+    def test_noise_differs_across_frequencies(self):
+        platform = raptorlake_sim()
+        a = execute_fixed(platform, cb_workload(), 2.0)
+        b = execute_fixed(platform, cb_workload(), 2.1)
+        assert a.time_s != b.time_s
+
+    def test_noise_free_mode(self):
+        platform = raptorlake_sim()
+        run = execute_fixed(platform, cb_workload(), 2.0, noisy=False)
+        t_c = compute_time_s(platform, cb_workload())
+        t_m = memory_time_s(platform, cb_workload(), 2.0)
+        expected = max(t_c, t_m) + platform.overlap_rho * min(t_c, t_m)
+        assert run.time_s == pytest.approx(expected)
+
+    def test_bb_time_improves_with_f(self):
+        platform = raptorlake_sim()
+        slow = execute_fixed(platform, bb_workload(), 0.8, noisy=False)
+        fast = execute_fixed(platform, bb_workload(), 4.6, noisy=False)
+        assert slow.time_s / fast.time_s > 1.3
+
+    def test_cb_time_flat_power_grows(self):
+        platform = raptorlake_sim()
+        slow = execute_fixed(platform, cb_workload(), 0.8, noisy=False)
+        fast = execute_fixed(platform, cb_workload(), 4.6, noisy=False)
+        assert slow.time_s / fast.time_s < 1.15
+        assert fast.avg_power_w > slow.avg_power_w
+
+    def test_frequency_clamped(self):
+        platform = raptorlake_sim()
+        run = execute_fixed(platform, cb_workload(), 99.0)
+        assert run.f_uncore_ghz == platform.uncore.f_max_ghz
+
+    def test_prefetch_hides_latency(self):
+        platform = raptorlake_sim()
+        latency_bound = KernelWorkload(
+            "chase", 1000, (100_000, 100_000, 100_000),
+            100_000 * 64, 0, 100_000, False, 1,
+        )
+        on = execute_fixed(platform, latency_bound, 2.0, prefetch=True,
+                           noisy=False)
+        off = execute_fixed(platform, latency_bound, 2.0, prefetch=False,
+                            noisy=False)
+        assert off.time_s > on.time_s
+
+    def test_serial_vs_parallel_compute(self):
+        platform = raptorlake_sim()
+        serial = KernelWorkload(
+            "s", 10_000_000, (1000, 10, 10), 640, 0, 10, False, 1
+        )
+        parallel = KernelWorkload(
+            "p", 10_000_000, (1000, 10, 10), 640, 0, 10, True, 20
+        )
+        t_serial = compute_time_s(platform, serial)
+        t_parallel = compute_time_s(platform, parallel)
+        assert t_serial == pytest.approx(t_parallel * platform.cores)
+
+    def test_oi_property(self):
+        assert bb_workload().operational_intensity() < 1
+        no_traffic = KernelWorkload("x", 10, (0,), 0, 0, 0)
+        assert no_traffic.operational_intensity() == float("inf")
+
+
+class TestGovernor:
+    def test_bb_ramps_to_max(self):
+        platform = raptorlake_sim()
+        result = run_governed_sequence(
+            platform, [bb_workload()] * 40, GovernorConfig()
+        )
+        assert result.runs[-1].f_uncore_ghz == platform.uncore.f_max_ghz
+
+    def test_interval_state_persists_across_kernels(self):
+        """Kernels shorter than the control interval still drive scaling."""
+        platform = raptorlake_sim()
+        tiny = bb_workload("tiny")
+        single = execute_fixed(platform, tiny, 3.9, noisy=False)
+        config = GovernorConfig()
+        assert single.time_s < config.interval_s * 10
+        result = run_governed_sequence(platform, [tiny] * 60, config)
+        assert result.runs[-1].f_uncore_ghz > result.runs[0].f_uncore_ghz
+
+    def test_start_frequency_override(self):
+        platform = raptorlake_sim()
+        result = run_governed_sequence(
+            platform, [cb_workload()], start_freq_ghz=1.0
+        )
+        assert result.runs[0].f_uncore_ghz <= 1.2
+
+    def test_energy_accumulates(self):
+        platform = raptorlake_sim()
+        once = run_governed_sequence(platform, [bb_workload()])
+        twice = run_governed_sequence(platform, [bb_workload()] * 2)
+        assert twice.energy_j > once.energy_j
+        assert twice.time_s > once.time_s
+
+    def test_sequence_result_properties(self):
+        platform = raptorlake_sim()
+        result = run_governed_sequence(platform, [bb_workload()])
+        assert result.avg_power_w == pytest.approx(
+            result.energy_j / result.time_s
+        )
+        assert result.edp == pytest.approx(result.energy_j * result.time_s)
+
+
+class TestCappedSequence:
+    def test_cap_overhead_charged_on_change_only(self):
+        platform = raptorlake_sim()
+        workload = cb_workload()
+        same = run_capped_sequence(
+            platform, [(workload, 2.0)] * 5, noisy=False
+        )
+        alternating = run_capped_sequence(
+            platform,
+            [(workload, 2.0), (workload, 3.0)] * 3,
+            noisy=False,
+        )
+        assert same.cap_switches == 1
+        assert alternating.cap_switches == 6
+        overhead = platform.cap_overhead_s
+        kernel_time = execute_fixed(
+            platform, workload, 2.0, noisy=False
+        ).time_s
+        assert same.time_s == pytest.approx(
+            5 * kernel_time + overhead, rel=1e-6
+        )
+
+    def test_none_cap_means_max(self):
+        platform = raptorlake_sim()
+        result = run_capped_sequence(platform, [(cb_workload(), None)])
+        assert result.runs[0].f_uncore_ghz == platform.uncore.f_max_ghz
+
+    def test_low_cap_saves_energy_on_cb(self):
+        platform = raptorlake_sim()
+        workload = cb_workload()
+        low = run_capped_sequence(platform, [(workload, 1.2)] * 10)
+        high = run_capped_sequence(platform, [(workload, 4.6)] * 10)
+        assert low.energy_j < high.energy_j
+
+
+class TestCounters:
+    def _sim_and_run(self, platform):
+        from repro.cache import generate_trace, simulate_hierarchy
+        from repro.benchsuite import get_benchmark
+        from repro.hw import workload_from_sim
+        from repro.poly import extract_scop, tile_and_parallelize
+
+        module = get_benchmark("doitgen").module()
+        tiled, _ = tile_and_parallelize(module)
+        scop = extract_scop(tiled)
+        trace = generate_trace(tiled)
+        sim = simulate_hierarchy(trace, platform.hierarchy)
+        workload = workload_from_sim(
+            "doitgen", scop.total_flops(), sim, True, platform.threads
+        )
+        run = execute_fixed(platform, workload, 2.0)
+        return workload, sim, run
+
+    def test_papi_counters(self):
+        platform = raptorlake_sim()
+        workload, sim, run = self._sim_and_run(platform)
+        counters = papi_measure(workload, sim, run)
+        assert counters.flops == workload.flops
+        assert counters.llc_misses == sim.llc.misses
+        assert counters.dram_bytes == sim.dram_bytes
+        assert counters.gflops > 0
+        assert counters.measured_oi_fpb == pytest.approx(
+            workload.flops / sim.dram_bytes
+        )
+
+    def test_rapl_uncore_zone_availability(self):
+        rpl = raptorlake_sim()
+        workload, _sim, run = self._sim_and_run(rpl)
+        reading = rapl_measure(rpl, workload, run)
+        assert reading.has_uncore_zone
+        assert 0 < reading.uncore_j < reading.package_j
+
+        bdw = broadwell_sim()
+        workload_b, _sim_b, run_b = self._sim_and_run(bdw)
+        reading_b = rapl_measure(bdw, workload_b, run_b)
+        # the paper's footnote 15: no uncore energy zone on BDW
+        assert not reading_b.has_uncore_zone
+        assert reading_b.uncore_j is None

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "gemm" in out
+    assert "sdpa_bert" in out
+    assert "polybench" in out and "ml" in out
+
+
+def test_platforms(capsys):
+    code, out = run_cli(capsys, "platforms")
+    assert code == 0
+    assert "broadwell_sim" in out and "raptorlake_sim" in out
+    assert "21 us" in out and "35 us" in out
+
+
+def test_constants(capsys):
+    code, out = run_cli(capsys, "constants", "--platform", "rpl")
+    assert code == 0
+    assert "B^t_DRAM" in out
+    assert "Gflop/s" in out
+
+
+def test_characterize(capsys):
+    code, out = run_cli(capsys, "characterize", "doitgen")
+    assert code == 0
+    assert "OI" in out
+    assert "cap" in out
+
+
+def test_compile_prints_capped_ir(capsys):
+    code, out = run_cli(capsys, "compile", "doitgen")
+    assert code == 0
+    assert "polyufc.set_uncore_cap" in out
+    assert "affine" in out
+
+
+def test_compare(capsys):
+    code, out = run_cli(capsys, "compare", "doitgen")
+    assert code == 0
+    assert "EDP" in out and "%" in out
+
+
+def test_sweep(capsys):
+    code, out = run_cli(capsys, "sweep", "doitgen")
+    assert code == 0
+    assert "min EDP" in out
+
+
+def test_unknown_kernel_raises():
+    with pytest.raises(KeyError):
+        main(["characterize", "not-a-kernel"])
+
+
+def test_parser_rejects_bad_platform():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["characterize", "gemm", "-p", "skylake"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

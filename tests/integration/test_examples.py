@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "cap" in result.stdout
+    assert "polyufc-cm" in result.stdout
+
+
+def test_cap_ml_models():
+    result = run_example("cap_ml_models.py", "rpl")
+    assert result.returncode == 0, result.stderr
+    assert "conv2d_alexnet" in result.stdout
+    assert "EDP" in result.stdout
+
+
+def test_phase_analysis():
+    result = run_example("phase_analysis_sdpa.py")
+    assert result.returncode == 0, result.stderr
+    assert "BB* " in result.stdout or "BB*" in result.stdout
+    assert "granularity: linalg" in result.stdout
+
+
+def test_summarize_module():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.experiments.summarize", "rpl"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "geomean EDP improvement" in result.stdout

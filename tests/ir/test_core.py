@@ -1,0 +1,104 @@
+"""Unit tests for IR core structures."""
+
+import pytest
+
+from repro.ir import Buffer, F32, F64, IRError, Module, Op, Region, Value
+from repro.ir.core import ElementType
+
+
+class TestElementType:
+    def test_interned(self):
+        assert ElementType("f32", 4) is F32
+
+    def test_conflicting_redefinition(self):
+        with pytest.raises(IRError):
+            ElementType("f32", 8)
+
+    def test_sizes(self):
+        assert F32.size_bytes == 4
+        assert F64.size_bytes == 8
+
+
+class TestBuffer:
+    def test_basic(self):
+        buffer = Buffer("A", (4, 8), F32)
+        assert buffer.rank == 2
+        assert buffer.num_elements == 32
+        assert buffer.size_bytes == 128
+
+    def test_strides_row_major(self):
+        buffer = Buffer("A", (2, 3, 4))
+        assert buffer.strides() == (12, 4, 1)
+
+    def test_scalar_like(self):
+        buffer = Buffer("s", (1,))
+        assert buffer.strides() == (1,)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(IRError):
+            Buffer("A", (0, 3))
+        with pytest.raises(IRError):
+            Buffer("", (3,))
+
+
+class TestModule:
+    def test_add_buffer_and_duplicate(self):
+        module = Module("m")
+        module.add_buffer("A", (4,))
+        with pytest.raises(IRError):
+            module.add_buffer("A", (4,))
+
+    def test_params(self):
+        module = Module("m")
+        module.set_param("n", 10)
+        assert module.params == {"n": 10}
+
+    def test_clone_structure_shares_buffers(self):
+        module = Module("m")
+        buffer = module.add_buffer("A", (4,))
+        clone = module.clone_structure("m2")
+        assert clone.buffers["A"] is buffer
+        assert clone.ops == []
+
+    def test_verify_rejects_unregistered_buffer(self):
+        module = Module("m")
+        rogue = Buffer("ghost", (4,))
+
+        class FakeOp(Op):
+            def buffers_read(self):
+                return [rogue]
+
+        module.append(FakeOp())
+        with pytest.raises(IRError):
+            module.verify()
+
+    def test_verify_rejects_use_before_def(self):
+        module = Module("m")
+        orphan = Value()
+
+        class UserOp(Op):
+            pass
+
+        module.append(UserOp(operands=[orphan]))
+        with pytest.raises(IRError):
+            module.verify()
+
+    def test_walk_recurses_into_regions(self):
+        module = Module("m")
+        inner = Op()
+        outer = Op(regions=[Region(ops=[inner])])
+        module.append(outer)
+        assert list(module.walk()) == [outer, inner]
+
+
+class TestOp:
+    def test_result_accessor(self):
+        op = Op(num_results=1)
+        assert op.result is op.results[0]
+        with pytest.raises(IRError):
+            Op(num_results=2).result
+
+    def test_default_buffer_methods(self):
+        op = Op()
+        assert op.buffers_read() == []
+        assert op.buffers_written() == []

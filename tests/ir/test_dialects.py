@@ -1,0 +1,211 @@
+"""Unit tests for the dialect op constructors and their invariants."""
+
+import pytest
+
+from repro.ir import Buffer, F32, IRError, Module
+from repro.ir.builder import AffineBuilder
+from repro.ir.dialects import arith
+from repro.ir.dialects.affine import (
+    AffineForOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    loop_nest_depth,
+    outer_loops,
+    perfectly_nested_band,
+    verify_affine,
+)
+from repro.ir.dialects.linalg import (
+    BatchMatmulOp,
+    BroadcastCombineOp,
+    Conv2DNchwFchwOp,
+    ElementwiseOp,
+    FillOp,
+    MatmulOp,
+    ReduceOp,
+)
+from repro.ir.dialects.polyufc import SetUncoreCapOp
+from repro.ir.dialects.torch_d import TorchSdpaOp
+from repro.isllite import LinExpr
+
+
+def buf(name, shape):
+    return Buffer(name, shape, F32)
+
+
+class TestArith:
+    def test_constant(self):
+        op = arith.ConstantOp(2.5)
+        assert op.value == 2.5
+        assert op.flops() == 0
+
+    def test_binary_kinds(self):
+        lhs = arith.ConstantOp(1.0).result
+        rhs = arith.ConstantOp(2.0).result
+        op = arith.BinaryOp("addf", lhs, rhs)
+        assert op.flops() == 1
+        assert op.kind == "addf"
+        with pytest.raises(IRError):
+            arith.BinaryOp("bogus", lhs, rhs)
+
+    def test_unary_kinds(self):
+        operand = arith.ConstantOp(1.0).result
+        assert arith.UnaryOp("expf", operand).flops() == 1
+        with pytest.raises(IRError):
+            arith.UnaryOp("bogus", operand)
+
+
+class TestAffine:
+    def test_for_bounds(self):
+        loop = AffineForOp("i", 0, 10)
+        assert loop.trip_count({}) == 10
+        assert loop.lower == LinExpr.cst(0)
+
+    def test_composite_bounds(self):
+        loop = AffineForOp("i", [0, LinExpr.var("t") * 4], [10, LinExpr.var("t") * 4 + 4])
+        assert loop.eval_bounds({"t": 1}) == (4, 8)
+        assert loop.eval_bounds({"t": 2}) == (8, 10)
+        with pytest.raises(IRError):
+            _ = loop.upper
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(IRError):
+            AffineForOp("i", 0, 10, step=0)
+
+    def test_load_store_arity(self):
+        a = buf("A", (4, 4))
+        with pytest.raises(IRError):
+            AffineLoadOp(a, [LinExpr.var("i")])
+        load = AffineLoadOp(a, ["i", "j"] and [LinExpr.var("i"), LinExpr.var("j")])
+        assert load.buffers_read() == [a]
+
+    def test_nest_helpers(self):
+        module = Module("m")
+        a = module.add_buffer("A", (8, 8), F32)
+        builder = AffineBuilder(module)
+        with builder.loop("i", 0, 8):
+            with builder.loop("j", 0, 8):
+                builder.store(builder.const(0.0), a, ["i", "j"])
+        (root,) = outer_loops(module)
+        assert loop_nest_depth(root) == 2
+        assert len(perfectly_nested_band(root)) == 2
+
+    def test_verify_affine_rejects_unknown_name(self):
+        module = Module("m")
+        a = module.add_buffer("A", (8,), F32)
+        builder = AffineBuilder(module)
+        with builder.loop("i", 0, 8):
+            builder.store(builder.const(0.0), a, ["q"])
+        with pytest.raises(IRError):
+            verify_affine(module)
+
+    def test_verify_affine_rejects_shadowing(self):
+        module = Module("m")
+        a = module.add_buffer("A", (8,), F32)
+        builder = AffineBuilder(module)
+        with builder.loop("i", 0, 8):
+            with builder.loop("i", 0, 8):
+                builder.store(builder.const(0.0), a, ["i"])
+        with pytest.raises(IRError):
+            verify_affine(module)
+
+    def test_buffers_read_written(self):
+        module = Module("m")
+        a = module.add_buffer("A", (8,), F32)
+        b = module.add_buffer("B", (8,), F32)
+        builder = AffineBuilder(module)
+        with builder.loop("i", 0, 8):
+            builder.store(builder.load(a, ["i"]), b, ["i"])
+        (root,) = outer_loops(module)
+        assert root.buffers_read() == [a]
+        assert root.buffers_written() == [b]
+
+
+class TestLinalg:
+    def test_matmul_shapes(self):
+        MatmulOp(buf("a", (4, 5)), buf("b", (5, 6)), buf("c", (4, 6)))
+        with pytest.raises(IRError):
+            MatmulOp(buf("a", (4, 5)), buf("b", (6, 5)), buf("c", (4, 6)))
+
+    def test_matmul_transpose_b(self):
+        op = MatmulOp(
+            buf("a", (4, 5)), buf("b", (6, 5)), buf("c", (4, 6)),
+            transpose_b=True,
+        )
+        assert op.iteration_extents() == (4, 6, 5)
+        assert op.flops() == 2 * 4 * 6 * 5
+
+    def test_batch_matmul(self):
+        op = BatchMatmulOp(
+            buf("a", (2, 3, 4, 5)), buf("b", (2, 3, 5, 6)), buf("c", (2, 3, 4, 6))
+        )
+        assert op.iteration_extents() == (2, 3, 4, 6, 5)
+        with pytest.raises(IRError):
+            BatchMatmulOp(
+                buf("a", (2, 4, 5)), buf("b", (3, 5, 6)), buf("c", (2, 4, 6))
+            )
+
+    def test_conv2d_output_shape_checked(self):
+        Conv2DNchwFchwOp(
+            buf("i", (1, 3, 8, 8)), buf("k", (4, 3, 3, 3)), buf("o", (1, 4, 6, 6))
+        )
+        with pytest.raises(IRError):
+            Conv2DNchwFchwOp(
+                buf("i", (1, 3, 8, 8)), buf("k", (4, 3, 3, 3)),
+                buf("o", (1, 4, 8, 8)),
+            )
+
+    def test_conv2d_stride(self):
+        op = Conv2DNchwFchwOp(
+            buf("i", (1, 3, 9, 9)), buf("k", (4, 3, 3, 3)),
+            buf("o", (1, 4, 4, 4)), stride=(2, 2),
+        )
+        assert op.iteration_extents() == (1, 4, 4, 4, 3, 3, 3)
+
+    def test_elementwise_validation(self):
+        x = buf("x", (4, 4))
+        with pytest.raises(IRError):
+            ElementwiseOp("scale", [x], buf("y", (4, 4)))  # missing scalar
+        with pytest.raises(IRError):
+            ElementwiseOp("add", [x], buf("y", (4, 4)))  # binary needs 2
+        with pytest.raises(IRError):
+            ElementwiseOp("exp", [x], buf("y", (4, 5)))  # shape mismatch
+        assert ElementwiseOp("copy", [x], buf("y", (4, 4))).flops() == 0
+        assert ElementwiseOp("exp", [x], buf("y", (4, 4))).flops() == 16
+
+    def test_reduce_shapes(self):
+        op = ReduceOp("sum", buf("x", (4, 8)), buf("y", (4,)))
+        assert op.flops() == 32
+        with pytest.raises(IRError):
+            ReduceOp("sum", buf("x", (4, 8)), buf("y", (8,)))
+        with pytest.raises(IRError):
+            ReduceOp("median", buf("x", (4, 8)), buf("y", (4,)))
+
+    def test_broadcast_combine(self):
+        op = BroadcastCombineOp(
+            "sub", buf("x", (4, 8)), buf("m", (4,)), buf("y", (4, 8))
+        )
+        assert op.flops() == 32
+        with pytest.raises(IRError):
+            BroadcastCombineOp(
+                "sub", buf("x", (4, 8)), buf("m", (8,)), buf("y", (4, 8))
+            )
+
+    def test_fill(self):
+        op = FillOp(buf("x", (3, 3)), 7.0)
+        assert op.flops() == 0
+        assert op.iteration_points() == 9
+
+
+class TestTorchAndPolyufc:
+    def test_sdpa_shape_checks(self):
+        q = buf("q", (1, 2, 8, 4))
+        with pytest.raises(IRError):
+            TorchSdpaOp(q, q, q, buf("o", (1, 2, 8, 8)))
+        op = TorchSdpaOp(q, q, q, buf("o", (1, 2, 8, 4)))
+        assert abs(op.scale - 0.5) < 1e-12  # 1/sqrt(4)
+
+    def test_cap_op(self):
+        op = SetUncoreCapOp(2.5, reason="test")
+        assert op.freq_ghz == 2.5
+        with pytest.raises(IRError):
+            SetUncoreCapOp(0.0)

@@ -1,0 +1,173 @@
+"""Parser tests: printed affine modules round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.polybench import POLYBENCH_BUILDERS
+from repro.ir import Module, print_module, run_module
+from repro.ir.dialects.affine import AffineForOp, verify_affine
+from repro.ir.parser import ParseError, parse_expr, parse_module
+from repro.isllite import LinExpr
+
+
+class TestParseExpr:
+    def test_constant(self):
+        assert parse_expr("5") == LinExpr.cst(5)
+        assert parse_expr("-3") == LinExpr.cst(-3)
+
+    def test_variable(self):
+        assert parse_expr("i") == LinExpr.var("i")
+        assert parse_expr("-j") == LinExpr.var("j", -1)
+
+    def test_scaled(self):
+        assert parse_expr("2*i") == LinExpr.var("i", 2)
+        assert parse_expr("-4*k") == LinExpr.var("k", -4)
+
+    def test_combination(self):
+        expr = parse_expr("2*i + j - 3")
+        assert expr == LinExpr({"i": 2, "j": 1}, -3)
+
+    def test_roundtrip_through_repr(self):
+        for expr in (
+            LinExpr({"i": 2, "j": -1}, 4),
+            LinExpr({"a": -3}, 0),
+            LinExpr({}, 7),
+            LinExpr({"x": 1}, -1),
+        ):
+            assert parse_expr(repr(expr)) == expr
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("i * j")
+        with pytest.raises(ParseError):
+            parse_expr("")
+
+
+def roundtrip(module: Module) -> Module:
+    return parse_module(print_module(module))
+
+
+class TestRoundTrip:
+    def test_simple_kernel(self):
+        module = POLYBENCH_BUILDERS["mvt"](n=8)
+        reparsed = roundtrip(module)
+        reparsed.verify()
+        verify_affine(reparsed)
+        assert reparsed.name == module.name
+        assert set(reparsed.buffers) == set(module.buffers)
+        ref = run_module(module, seed=3)
+        out = run_module(reparsed, seed=3)
+        for name in module.buffers:
+            np.testing.assert_allclose(ref[name], out[name], rtol=1e-6)
+
+    @pytest.mark.parametrize(
+        "name,sizes",
+        [
+            ("gemm", dict(ni=6, nj=5, nk=4)),
+            ("trisolv", dict(n=7)),
+            ("jacobi-1d", dict(tsteps=2, n=10)),
+            ("durbin", dict(n=6)),
+            ("deriche", dict(w=6, h=7)),
+        ],
+    )
+    def test_polybench_kernels_roundtrip(self, name, sizes):
+        module = POLYBENCH_BUILDERS[name](**sizes)
+        reparsed = roundtrip(module)
+        ref = run_module(module, seed=5)
+        out = run_module(reparsed, seed=5)
+        for buffer_name in module.buffers:
+            np.testing.assert_allclose(
+                ref[buffer_name], out[buffer_name], rtol=1e-5, atol=1e-7
+            )
+
+    def test_tiled_module_with_composite_bounds(self):
+        from repro.poly import tile_and_parallelize
+
+        module = POLYBENCH_BUILDERS["gemm"](ni=40, nj=40, nk=40)
+        tiled, _ = tile_and_parallelize(module, tile_size=8)
+        reparsed = roundtrip(tiled)
+        roots = [op for op in reparsed.ops if isinstance(op, AffineForOp)]
+        assert roots[0].parallel  # affine.parallel survives
+        inner = roots[0]
+        while len(inner.body.ops) == 1 and isinstance(
+            inner.body.ops[0], AffineForOp
+        ):
+            inner = inner.body.ops[0]
+        ref = run_module(tiled, seed=2)
+        out = run_module(reparsed, seed=2)
+        np.testing.assert_allclose(ref["C"], out["C"], rtol=1e-6)
+
+    def test_capped_module_roundtrip(self):
+        from repro.hw import get_platform
+        from repro.pipeline import get_constants, polyufc_compile
+
+        platform = get_platform("rpl")
+        module = POLYBENCH_BUILDERS["doitgen"](nq=6, nr=6, np_=6)
+        result = polyufc_compile(
+            module, platform, constants=get_constants(platform)
+        )
+        reparsed = roundtrip(result.capped_module)
+        from repro.ir.dialects.polyufc import SetUncoreCapOp
+
+        caps_in = [
+            op.freq_ghz
+            for op in result.capped_module.ops
+            if isinstance(op, SetUncoreCapOp)
+        ]
+        caps_out = [
+            op.freq_ghz
+            for op in reparsed.ops
+            if isinstance(op, SetUncoreCapOp)
+        ]
+        assert caps_in == pytest.approx(caps_out, abs=0.051)
+
+    def test_params_roundtrip(self):
+        module = Module("p")
+        module.set_param("n", 12)
+        module.add_buffer("A", (32,))
+        from repro.ir.builder import AffineBuilder
+
+        builder = AffineBuilder(module)
+        with builder.loop("i", 0, LinExpr.var("n")):
+            builder.store(builder.const(1.0), a_buffer := module.buffers["A"], ["i"])
+        reparsed = roundtrip(module)
+        assert reparsed.params == {"n": 12}
+        out = run_module(reparsed, buffers={"A": np.zeros(32)})
+        assert out["A"].sum() == 12
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(ParseError):
+            parse_module("affine.for %i = 0 to 4 step 1 {")
+
+    def test_unterminated_module(self):
+        with pytest.raises(ParseError):
+            parse_module("module @m {")
+
+    def test_undeclared_buffer(self):
+        text = (
+            "module @m {\n"
+            "  affine.for %i = 0 to 4 step 1 {\n"
+            "    %0 = affine.load @ghost[i]\n"
+            "  }\n"
+            "}"
+        )
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_undefined_value(self):
+        text = (
+            "module @m {\n"
+            "  memref @A : memref<4xf64>\n"
+            "  affine.for %i = 0 to 4 step 1 {\n"
+            "    affine.store %9, @A[i]\n"
+            "  }\n"
+            "}"
+        )
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_module("module @m {\n  memref @A : memref<4xbf16>\n}")

@@ -1,0 +1,132 @@
+"""Direct unit tests for the Fourier-Motzkin engine."""
+
+from repro.isllite import BasicSet, Constraint, LinExpr, Space, eq, ge, le
+from repro.isllite.fm import (
+    FALSE_CONSTRAINT,
+    constant_bounds,
+    eliminate,
+    project,
+    simplify,
+    substitute_equality,
+    triangularize,
+)
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+class TestSimplify:
+    def test_drops_trivially_true(self):
+        assert simplify([ge(LinExpr.cst(5), 0)]) == []
+
+    def test_detects_trivially_false(self):
+        assert simplify([ge(LinExpr.cst(-1), 0)]) == [FALSE_CONSTRAINT]
+
+    def test_keeps_tightest_parallel_constraint(self):
+        kept = simplify([ge(v("i"), 2), ge(v("i"), 5), ge(v("i"), 3)])
+        assert kept == [ge(v("i"), 5)]
+
+    def test_detects_contradicting_pair(self):
+        # i >= 5 and i <= 3
+        assert simplify([ge(v("i"), 5), le(v("i"), 3)]) == [FALSE_CONSTRAINT]
+
+    def test_consistent_pair_kept(self):
+        kept = simplify([ge(v("i"), 2), le(v("i"), 7)])
+        assert len(kept) == 2
+
+    def test_duplicate_equalities_merged(self):
+        kept = simplify([eq(v("i"), 4), eq(v("i"), 4)])
+        assert len(kept) == 1
+
+
+class TestSubstituteEquality:
+    def test_positive_coefficient(self):
+        # equality: 1*x + (-y) == 0, i.e. x = y; substitute into x + 3 >= 0
+        con = ge(v("x") + 3, 0)
+        rest = -v("y")
+        result = substitute_equality(con, "x", 1, rest)
+        assert result.satisfied({"y": -3})
+        assert not result.satisfied({"y": -4})
+
+    def test_negative_coefficient(self):
+        # equality: -2x + y == 0, i.e. x = y/2; substitute into x - 1 >= 0
+        con = ge(v("x") - 1, 0)
+        result = substitute_equality(con, "x", -2, v("y"))
+        assert result.satisfied({"y": 2})
+        assert not result.satisfied({"y": 1})
+
+    def test_untouched_when_absent(self):
+        con = ge(v("z"), 0)
+        assert substitute_equality(con, "x", 1, v("y")) is con
+
+
+class TestEliminate:
+    def test_prefers_equality_substitution(self):
+        cons = [eq(v("x") - v("y"), 0), ge(v("x"), 2), le(v("x"), 8)]
+        projected = eliminate(cons, "x")
+        lo, hi = constant_bounds(projected, "y")
+        assert (lo, hi) == (2, 8)
+
+    def test_inequality_pairing(self):
+        # y <= x <= y + 4, 0 <= x <= 10  project x  ->  constraints on y
+        cons = [
+            ge(v("x") - v("y"), 0),
+            le(v("x") - v("y"), 4),
+            ge(v("x"), 0),
+            le(v("x"), 10),
+        ]
+        projected = eliminate(cons, "x")
+        lo, hi = constant_bounds(projected, "y")
+        assert lo == -4 and hi == 10
+
+    def test_unconstrained_variable_vanishes(self):
+        cons = [ge(v("x"), 0), le(v("y"), 5)]
+        projected = eliminate(cons, "x")
+        assert projected == [le(v("y"), 5)]
+
+
+class TestProjectAndTriangularize:
+    def test_project_multiple(self):
+        cons = [
+            ge(v("i"), 0), le(v("i"), v("j")),
+            le(v("j"), v("k")), le(v("k"), 9),
+        ]
+        projected = project(cons, ["j", "k"])
+        lo, hi = constant_bounds(projected, "i")
+        assert (lo, hi) == (0, 9)
+
+    def test_project_of_false_stays_false(self):
+        assert project([FALSE_CONSTRAINT], ["x"]) == [FALSE_CONSTRAINT]
+
+    def test_triangularize_levels(self):
+        dims = ("i", "j")
+        cons = [ge(v("i"), 0), le(v("i"), 4), ge(v("j"), v("i")), le(v("j"), 7)]
+        levels = triangularize(cons, dims)
+        assert len(levels) == 2
+        # level 0 only mentions i
+        for con in levels[0]:
+            assert con.names() <= {"i"}
+        # level 1 is the full system
+        assert set(levels[1]) == set(simplify(cons))
+
+    def test_triangularize_empty_dims(self):
+        assert triangularize([ge(v("n"), 0)], ()) == []
+
+
+class TestConstantBounds:
+    def test_two_sided(self):
+        cons = [ge(v("i"), -3), le(v("i"), 11)]
+        assert constant_bounds(cons, "i") == (-3, 11)
+
+    def test_unbounded_sides(self):
+        lo, hi = constant_bounds([ge(v("i"), 2)], "i")
+        assert lo == 2 and hi == float("inf")
+
+    def test_equality_pins_both(self):
+        lo, hi = constant_bounds([eq(v("i"), 6)], "i")
+        assert lo == hi == 6
+
+    def test_multivariate_ignored(self):
+        lo, hi = constant_bounds([ge(v("i") + v("j"), 0)], "i")
+        assert lo == float("-inf") and hi == float("inf")

@@ -1,0 +1,86 @@
+"""Unit tests for lexicographic optimization."""
+
+import pytest
+
+from repro.isllite import (
+    BasicSet,
+    LinExpr,
+    Set,
+    Space,
+    ge,
+    le,
+    lexmax,
+    lexmin,
+)
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+def test_lexmin_box():
+    b = BasicSet.from_box(Space(("i", "j")), {"i": (2, 5), "j": (-1, 3)})
+    assert lexmin(b) == (2, -1)
+    assert lexmax(b) == (5, 3)
+
+
+def test_lexmin_triangle():
+    space = Space(("i", "j"))
+    tri = BasicSet(space, [ge(v("i"), 1), ge(v("j"), v("i")), le(v("j"), 4)])
+    assert lexmin(tri) == (1, 1)
+    assert lexmax(tri) == (4, 4)
+
+
+def test_lexmin_with_params():
+    space = Space(("i",), params=("n",))
+    b = BasicSet(space, [ge(v("i"), v("n")), le(v("i"), v("n") + 3)])
+    assert lexmin(b, {"n": 10}) == (10,)
+    assert lexmax(b, {"n": 10}) == (13,)
+
+
+def test_lexmin_empty():
+    assert lexmin(BasicSet.empty(Space(("i",)))) is None
+    assert lexmax(BasicSet.empty(Space(("i",)))) is None
+
+
+def test_lexmin_union_takes_global_min():
+    a = BasicSet.from_box(Space(("i",)), {"i": (5, 9)}).to_set()
+    b = BasicSet.from_box(Space(("i",)), {"i": (-3, -1)}).to_set()
+    u = a.union(b)
+    assert lexmin(u) == (-3,)
+    assert lexmax(u) == (9,)
+
+
+def test_lexmin_matches_brute_force():
+    space = Space(("i", "j"))
+    s = BasicSet(
+        space,
+        [
+            ge(v("i") + v("j"), 4),
+            le(v("i") * 2 + v("j"), 12),
+            ge(v("i"), 0),
+            le(v("i"), 6),
+            ge(v("j"), 0),
+            le(v("j"), 6),
+        ],
+    )
+    pts = list(s.enumerate_points())
+    assert lexmin(s) == min(pts)
+    assert lexmax(s) == max(pts)
+
+
+def test_lexmin_negative_coordinates():
+    b = BasicSet.from_box(Space(("i", "j")), {"i": (-5, -2), "j": (-9, -7)})
+    assert lexmin(b) == (-5, -9)
+    assert lexmax(b) == (-2, -7)
+
+
+def test_lexmin_type_error():
+    with pytest.raises(TypeError):
+        lexmin("not a set")
+    with pytest.raises(TypeError):
+        lexmax(12)
+
+
+def test_lexmax_zero_dim():
+    assert lexmax(BasicSet.universe(Space(()))) == ()

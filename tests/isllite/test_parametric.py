@@ -1,0 +1,179 @@
+"""Tests for symbolic (Ehrhart-lite) parametric counting."""
+
+import pytest
+from fractions import Fraction
+from hypothesis import given, settings, strategies as st
+
+from repro.isllite import BasicSet, LinExpr, Space, count_points, ge, le, eq
+from repro.isllite.parametric import (
+    ParametricCount,
+    UnsupportedParametricSet,
+    count_ordered_simplex,
+    count_rectangle,
+    parametric_count,
+)
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+def param_box():
+    """{ [i, j] : 0 <= i < n, 2 <= j <= m }"""
+    space = Space(("i", "j"), params=("n", "m"))
+    return BasicSet(
+        space,
+        [ge(v("i"), 0), le(v("i"), v("n") - 1), ge(v("j"), 2), le(v("j"), v("m"))],
+    )
+
+
+def chain(k, param="n"):
+    """{ [x1..xk] : 0 <= x1 <= ... <= xk <= n - 1 }"""
+    dims = tuple(f"x{index}" for index in range(k))
+    space = Space(dims, params=(param,))
+    cons = [ge(v(dims[0]), 0), le(v(dims[-1]), v(param) - 1)]
+    for a, b in zip(dims, dims[1:]):
+        cons.append(ge(v(b), v(a)))
+    return BasicSet(space, cons)
+
+
+class TestPolynomialAlgebra:
+    def test_constant_and_zero(self):
+        assert ParametricCount.constant(0).terms == ()
+        assert ParametricCount.constant(3).evaluate({}) == 3
+
+    def test_addition(self):
+        a = ParametricCount.from_linexpr(v("n") + 1)
+        b = ParametricCount.from_linexpr(v("n") - 1)
+        assert (a + b).evaluate({"n": 5}) == 10
+
+    def test_cancellation(self):
+        a = ParametricCount.from_linexpr(v("n"))
+        b = ParametricCount.from_linexpr(LinExpr.var("n", -1))
+        assert (a + b).terms == ()
+
+    def test_multiplication_degree(self):
+        n = ParametricCount.from_linexpr(v("n"))
+        assert (n * n * n).degree() == 3
+        assert (n * n).evaluate({"n": 7}) == 49
+
+    def test_parameters(self):
+        poly = ParametricCount.from_linexpr(v("n") + v("m"))
+        assert poly.parameters() == frozenset({"n", "m"})
+
+    def test_negative_evaluation_clamped(self):
+        poly = ParametricCount.from_linexpr(v("n") - 10)
+        assert poly.evaluate({"n": 3}) == 0
+
+    def test_repr(self):
+        poly = ParametricCount.from_linexpr(v("n") * 2 + 1)
+        text = repr(poly)
+        assert "n" in text
+
+
+class TestRectangle:
+    def test_symbolic_formula(self):
+        poly = count_rectangle(param_box())
+        # n * (m - 1)
+        for n, m in [(1, 2), (4, 5), (10, 3), (7, 7)]:
+            expected = int(count_points(param_box(), {"n": n, "m": m}))
+            assert poly.evaluate({"n": n, "m": m}) == expected
+
+    def test_degree_matches_dimensionality(self):
+        assert count_rectangle(param_box()).degree() == 2
+
+    def test_constant_box(self):
+        space = Space(("i",))
+        box = BasicSet(space, [ge(v("i"), 3), le(v("i"), 9)])
+        assert count_rectangle(box).evaluate({}) == 7
+
+    def test_coupled_dims_rejected(self):
+        space = Space(("i", "j"), params=("n",))
+        tri = BasicSet(
+            space,
+            [ge(v("i"), 0), ge(v("j"), v("i")), le(v("j"), v("n"))],
+        )
+        with pytest.raises(UnsupportedParametricSet):
+            count_rectangle(tri)
+
+    def test_strided_coefficient_rejected(self):
+        space = Space(("i",), params=("n",))
+        strided = BasicSet(space, [ge(v("i") * 2, 0), le(v("i") * 2, v("n"))])
+        with pytest.raises(UnsupportedParametricSet):
+            count_rectangle(strided)
+
+    def test_unbounded_rejected(self):
+        space = Space(("i",), params=("n",))
+        half = BasicSet(space, [ge(v("i"), 0)])
+        with pytest.raises(UnsupportedParametricSet):
+            count_rectangle(half)
+
+
+class TestOrderedSimplex:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_multiset_formula(self, k):
+        poly = count_ordered_simplex(chain(k))
+        for n in (1, 2, 5, 9):
+            expected = int(count_points(chain(k), {"n": n}))
+            assert poly.evaluate({"n": n}) == expected, (k, n)
+
+    def test_degree_is_k(self):
+        assert count_ordered_simplex(chain(3)).degree() == 3
+
+    def test_triangle_closed_form(self):
+        poly = count_ordered_simplex(chain(2))
+        # C(n+1, 2) = n(n+1)/2
+        assert poly.evaluate({"n": 10}) == 55
+
+    def test_incomplete_chain_rejected(self):
+        space = Space(("a", "b", "c"), params=("n",))
+        broken = BasicSet(
+            space,
+            [ge(v("a"), 0), ge(v("b"), v("a")), le(v("c"), v("n") - 1),
+             ge(v("c"), 0), le(v("b"), v("n") - 1)],
+        )
+        with pytest.raises(UnsupportedParametricSet):
+            count_ordered_simplex(broken)
+
+    def test_equality_rejected(self):
+        space = Space(("a",), params=("n",))
+        line = BasicSet(space, [eq(v("a"), v("n"))])
+        with pytest.raises(UnsupportedParametricSet):
+            count_ordered_simplex(line)
+
+
+class TestDispatcher:
+    def test_rectangle_path(self):
+        assert parametric_count(param_box()).degree() == 2
+
+    def test_simplex_path(self):
+        assert parametric_count(chain(2)).evaluate({"n": 4}) == 10
+
+
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_rectangle_matches_numeric(lo_i, lo_j, n, m):
+    space = Space(("i", "j"), params=("n", "m"))
+    box = BasicSet(
+        space,
+        [
+            ge(v("i"), lo_i), le(v("i"), v("n")),
+            ge(v("j"), lo_j), le(v("j"), v("m")),
+        ],
+    )
+    poly = count_rectangle(box)
+    assert poly.evaluate({"n": n, "m": m}) == int(
+        count_points(box, {"n": n, "m": m})
+    )
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_property_simplex_matches_numeric(k, n):
+    poly = count_ordered_simplex(chain(k))
+    assert poly.evaluate({"n": n}) == int(count_points(chain(k), {"n": n}))

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the integer set library.
+
+Random small sets are generated as conjunctions of random affine constraints
+inside a bounding box, so every set is finite and brute-force enumerable.
+Each property compares an isllite operation against direct enumeration.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isllite import (
+    BasicSet,
+    Constraint,
+    LinExpr,
+    Set,
+    Space,
+    count_points,
+    ge,
+    le,
+    lexmax,
+    lexmin,
+)
+
+DIMS = ("i", "j")
+SPACE = Space(DIMS)
+LO, HI = -4, 4
+BOX_POINTS = [(i, j) for i in range(LO, HI + 1) for j in range(LO, HI + 1)]
+
+
+def bounding_box():
+    return [
+        ge(LinExpr.var("i"), LO),
+        le(LinExpr.var("i"), HI),
+        ge(LinExpr.var("j"), LO),
+        le(LinExpr.var("j"), HI),
+    ]
+
+
+coeffs = st.integers(min_value=-3, max_value=3)
+consts = st.integers(min_value=-6, max_value=6)
+
+
+@st.composite
+def random_constraint(draw):
+    expr = LinExpr({"i": draw(coeffs), "j": draw(coeffs)}, draw(consts))
+    return Constraint(expr, is_eq=draw(st.booleans()))
+
+
+@st.composite
+def random_basic_set(draw):
+    extra = draw(st.lists(random_constraint(), min_size=0, max_size=3))
+    return BasicSet(SPACE, bounding_box() + extra)
+
+
+@st.composite
+def random_set(draw):
+    pieces = draw(st.lists(random_basic_set(), min_size=1, max_size=3))
+    return Set(SPACE, pieces)
+
+
+def brute_force(obj):
+    return {p for p in BOX_POINTS if obj.contains(p)}
+
+
+@given(random_basic_set())
+@settings(max_examples=60, deadline=None)
+def test_enumeration_matches_membership(bset):
+    assert set(bset.enumerate_points()) == brute_force(bset)
+
+
+@given(random_basic_set())
+@settings(max_examples=60, deadline=None)
+def test_count_matches_enumeration(bset):
+    assert int(count_points(bset)) == len(brute_force(bset))
+
+
+@given(random_basic_set(), random_basic_set())
+@settings(max_examples=40, deadline=None)
+def test_intersection_is_conjunction(a, b):
+    assert brute_force(a.intersect(b)) == brute_force(a) & brute_force(b)
+
+
+@given(random_set(), random_set())
+@settings(max_examples=40, deadline=None)
+def test_union_is_disjunction(a, b):
+    assert brute_force(a.union(b)) == brute_force(a) | brute_force(b)
+
+
+@given(random_set(), random_set())
+@settings(max_examples=30, deadline=None)
+def test_subtraction_is_difference(a, b):
+    diff = a.subtract(b)
+    assert brute_force(diff) == brute_force(a) - brute_force(b)
+    # pieces of a difference must be pairwise disjoint
+    pts = list(diff.enumerate_points())
+    assert len(pts) == len(set(pts))
+
+
+@given(random_set())
+@settings(max_examples=30, deadline=None)
+def test_make_disjoint_preserves_points(s):
+    disjoint = s.make_disjoint()
+    assert brute_force(disjoint) == brute_force(s)
+    pts = list(disjoint.enumerate_points())
+    assert len(pts) == len(set(pts))
+
+
+@given(random_basic_set())
+@settings(max_examples=40, deadline=None)
+def test_projection_contains_shadow(bset):
+    # FM projection is the rational shadow: it must contain every integer
+    # shadow point (it may be slightly larger, never smaller).
+    shadow = {(i,) for i, _ in brute_force(bset)}
+    projected = set(bset.project_out(["j"]).enumerate_points()) if not (
+        bset.project_out(["j"]).gist_is_false()
+    ) else set()
+    assert shadow <= projected
+
+
+@given(random_set())
+@settings(max_examples=40, deadline=None)
+def test_lexmin_lexmax_extremes(s):
+    pts = brute_force(s)
+    if pts:
+        assert lexmin(s) == min(pts)
+        assert lexmax(s) == max(pts)
+    else:
+        assert lexmin(s) is None
+        assert lexmax(s) is None
+
+
+@given(random_basic_set())
+@settings(max_examples=40, deadline=None)
+def test_emptiness_agrees_with_enumeration(bset):
+    assert bset.is_empty({}) == (len(brute_force(bset)) == 0)
+
+
+@given(random_basic_set())
+@settings(max_examples=40, deadline=None)
+def test_rename_roundtrip(bset):
+    renamed = bset.rename({"i": "a", "j": "b"}).rename({"a": "i", "b": "j"})
+    assert set(renamed.enumerate_points()) == brute_force(bset)

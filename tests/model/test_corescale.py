@@ -1,0 +1,104 @@
+"""Tests for the core-frequency extension of the parametric model."""
+
+import pytest
+
+from repro.hw import raptorlake_sim
+from repro.model import KernelSummary, PolyUFCModel
+from repro.model.corescale import CoreScaledModel, JointSetting, joint_search
+from repro.roofline import calibrate_platform
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return calibrate_platform(raptorlake_sim())
+
+
+def scaled_cb(constants):
+    q = 1_000_000
+    omega = int(q * constants.b_t_dram * 10)
+    summary = KernelSummary("cb", omega, q, q // 64, (0, 4 * q, 2 * q))
+    return CoreScaledModel(PolyUFCModel(constants, summary), 3.5)
+
+
+def scaled_bb(constants):
+    q = 50_000_000
+    omega = int(q * constants.b_t_dram / 10)
+    summary = KernelSummary("bb", omega, q, q // 64, (0, q, q))
+    return CoreScaledModel(PolyUFCModel(constants, summary), 3.5)
+
+
+def test_base_frequency_identity(constants):
+    scaled = scaled_cb(constants)
+    assert scaled.time_s(3.5, 2.0) == pytest.approx(
+        scaled.model.time_s(2.0)
+    )
+    assert scaled.power_w(3.5, 2.0) == pytest.approx(
+        scaled.model.power_w(2.0)
+    )
+
+
+def test_cb_time_scales_with_core_clock(constants):
+    scaled = scaled_cb(constants)
+    slow = scaled.time_s(1.75, 3.0)
+    fast = scaled.time_s(3.5, 3.0)
+    assert slow / fast > 1.5  # compute-dominated: near-linear in f_core
+
+
+def test_bb_time_insensitive_to_core_clock(constants):
+    scaled = scaled_bb(constants)
+    slow = scaled.time_s(1.75, 3.0)
+    fast = scaled.time_s(3.5, 3.0)
+    assert slow / fast < 1.1
+
+
+def test_core_power_cubic_law(constants):
+    scaled = scaled_cb(constants)
+    low = scaled.power_w(1.75, 3.0)
+    high = scaled.power_w(4.4, 3.0)
+    assert high > low
+    assert scaled.power_w(3.5, 3.0) > low
+
+
+def test_invalid_base_frequency(constants):
+    with pytest.raises(ValueError):
+        CoreScaledModel(scaled_cb(constants).model, 0.0)
+
+
+def test_joint_search_objectives(constants):
+    scaled = scaled_bb(constants)
+    cores = [1.5, 2.5, 3.5, 4.5]
+    uncores = [1.0, 2.0, 3.0, 4.0]
+    best_edp, points = joint_search(scaled, cores, uncores)
+    assert len(points) == 16
+    best_perf, _ = joint_search(scaled, cores, uncores, "performance")
+    best_energy, _ = joint_search(scaled, cores, uncores, "energy")
+    assert best_perf.time_s <= best_edp.time_s
+    assert best_energy.energy_j <= best_edp.energy_j
+    with pytest.raises(ValueError):
+        joint_search(scaled, cores, uncores, "speed")
+
+
+def test_bb_joint_optimum_uses_uncore_dimension(constants):
+    """For BB kernels the uncore axis matters: the joint optimum does not
+    sit at the lowest uncore frequency."""
+    scaled = scaled_bb(constants)
+    best, _ = joint_search(
+        scaled, [3.5], [1.0, 2.0, 3.0, 3.8, 4.4]
+    )
+    assert best.f_uncore_ghz >= 3.0
+
+
+def test_cb_joint_optimum_drops_core_not_uncore_perf(constants):
+    """For CB kernels the core axis dominates EDP; the uncore cap lands
+    low without hurting time."""
+    scaled = scaled_cb(constants)
+    best, _ = joint_search(
+        scaled, [2.0, 2.75, 3.5], [0.8, 2.0, 3.2, 4.4]
+    )
+    assert best.f_uncore_ghz <= 2.0
+
+
+def test_setting_properties():
+    setting = JointSetting(3.0, 2.0, 2.0, 10.0)
+    assert setting.energy_j == 20.0
+    assert setting.edp == 40.0

@@ -1,0 +1,111 @@
+"""Property tests: dependence analysis vs a brute-force oracle.
+
+Random small 2-deep loop nests with one read and one write to a shared
+array are generated; the oracle enumerates all iteration pairs and records
+the exact set of lexicographically-positive dependence distance vectors.
+The analysis must *over-approximate* the oracle: every true dependence
+distance must be covered by some reported direction vector, and parallelism
+claims must never contradict a真 carried dependence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import F64, Module
+from repro.ir.builder import AffineBuilder
+from repro.ir.dialects.affine import outer_loops
+from repro.isllite import LinExpr
+from repro.poly import extract_scop, is_parallel_dim, nest_dependences
+
+EXTENT = 5
+
+
+@st.composite
+def subscript(draw):
+    """A small affine subscript over the ivs i, j."""
+    ci = draw(st.integers(min_value=0, max_value=2))
+    cj = draw(st.integers(min_value=0, max_value=2))
+    const = draw(st.integers(min_value=0, max_value=3))
+    return LinExpr({"i": ci, "j": cj}, const)
+
+
+@st.composite
+def random_nest(draw):
+    """for i: for j: A[w(i,j)] = A[r(i,j)] + 1 over a 1-D array."""
+    write = draw(subscript())
+    read = draw(subscript())
+    module = Module("nest")
+    size = 4 * EXTENT + 8  # large enough for any subscript value
+    array = module.add_buffer("A", (size,), F64)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, EXTENT):
+        with builder.loop("j", 0, EXTENT):
+            value = builder.add(builder.load(array, [read]), builder.const(1.0))
+            builder.store(value, array, [write])
+    return module, write, read
+
+
+def oracle_distances(write, read):
+    """All lexicographically-positive (di, dj) with a true dependence."""
+    accesses = []  # (iteration, offset, is_write) in execution order
+    for i in range(EXTENT):
+        for j in range(EXTENT):
+            env = {"i": i, "j": j}
+            accesses.append(((i, j), read.evaluate_int(env), False))
+            accesses.append(((i, j), write.evaluate_int(env), True))
+    distances = set()
+    for index_a, (iter_a, off_a, w_a) in enumerate(accesses):
+        for iter_b, off_b, w_b in accesses[index_a + 1 :]:
+            if off_a != off_b or not (w_a or w_b):
+                continue
+            if iter_a == iter_b:
+                continue
+            delta = (iter_b[0] - iter_a[0], iter_b[1] - iter_a[1])
+            if delta > (0, 0):
+                distances.add(delta)
+    return distances
+
+
+def covers(direction, delta):
+    """Does one reported direction vector cover a concrete distance?"""
+    for component, value in zip(direction, delta):
+        if component == "*":
+            continue
+        if component == "0+":
+            if value < 0:
+                return False
+        elif component != value:
+            return False
+    return True
+
+
+@given(random_nest())
+@settings(max_examples=60, deadline=None)
+def test_analysis_over_approximates_oracle(case):
+    module, write, read = case
+    scop = extract_scop(module)
+    deps = nest_dependences(scop, outer_loops(module)[0])
+    directions = [d.directions for d in deps]
+    for delta in oracle_distances(write, read):
+        assert any(covers(direction, delta) for direction in directions), (
+            f"missed dependence {delta}; reported {directions} "
+            f"(write {write!r}, read {read!r})"
+        )
+
+
+@given(random_nest())
+@settings(max_examples=60, deadline=None)
+def test_parallel_claims_are_sound(case):
+    module, write, read = case
+    scop = extract_scop(module)
+    deps = nest_dependences(scop, outer_loops(module)[0])
+    true_distances = oracle_distances(write, read)
+    for dim in range(2):
+        if is_parallel_dim(deps, dim):
+            carried = [
+                d for d in true_distances
+                if all(d[k] == 0 for k in range(dim)) and d[dim] != 0
+            ]
+            assert not carried, (
+                f"dim {dim} claimed parallel but carries {carried} "
+                f"(write {write!r}, read {read!r})"
+            )

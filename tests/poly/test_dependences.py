@@ -1,0 +1,153 @@
+"""Unit tests for dependence analysis."""
+
+from repro.ir import F32, Module, lower_linalg_to_affine
+from repro.ir.builder import AffineBuilder
+from repro.ir.dialects.affine import outer_loops
+from repro.ir.dialects.linalg import FillOp, MatmulOp
+from repro.isllite import LinExpr
+from repro.poly import (
+    extract_scop,
+    is_parallel_dim,
+    nest_dependences,
+    permutable_prefix_depth,
+)
+from repro.poly.dependences import Dependence
+
+
+def deps_of(module, nest_index=0):
+    scop = extract_scop(module)
+    root = outer_loops(module)[nest_index]
+    return nest_dependences(scop, root)
+
+
+def test_matmul_reduction_dependence():
+    module = Module("mm")
+    a = module.add_buffer("A", (8, 8), F32)
+    b = module.add_buffer("B", (8, 8), F32)
+    c = module.add_buffer("C", (8, 8), F32)
+    module.append(FillOp(c, 0.0))
+    module.append(MatmulOp(a, b, c))
+    affine = lower_linalg_to_affine(module)
+    deps = deps_of(affine, 1)
+    assert len(deps) == 1
+    assert deps[0].directions == (0, 0, "0+")
+    assert is_parallel_dim(deps, 0)
+    assert is_parallel_dim(deps, 1)
+    assert not is_parallel_dim(deps, 2)
+    assert permutable_prefix_depth(deps, 3) == 3
+
+
+def test_fill_has_no_dependences():
+    module = Module("fill")
+    c = module.add_buffer("C", (8, 8), F32)
+    module.append(FillOp(c, 0.0))
+    affine = lower_linalg_to_affine(module)
+    assert deps_of(affine) == []
+
+
+def test_forward_recurrence_blocks_parallelism():
+    """x[i] = x[i-1] + ... : carried at i, not parallel, not permutable."""
+    module = Module("scan")
+    x = module.add_buffer("x", (16,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 1, 16):
+        val = builder.add(
+            builder.load(x, [LinExpr.var("i") - 1]), builder.const(1.0)
+        )
+        builder.store(val, x, ["i"])
+    deps = deps_of(module)
+    assert any(d.directions == (1,) for d in deps)
+    assert not is_parallel_dim(deps, 0)
+
+
+def test_independent_columns_parallel():
+    """out[i][j] = in[i-1][j] reads another buffer: j stays parallel."""
+    module = Module("cols")
+    src = module.add_buffer("src", (8, 8), F32)
+    dst = module.add_buffer("dst", (8, 8), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 1, 8):
+        with builder.loop("j", 0, 8):
+            builder.store(
+                builder.load(src, [LinExpr.var("i") - 1, "j"]), dst, ["i", "j"]
+            )
+    deps = deps_of(module)
+    assert deps == []  # read and write touch different buffers
+    assert is_parallel_dim(deps, 0)
+
+
+def test_stencil_time_loop_carried():
+    """Jacobi-style double-buffer sweep: t carried, i parallel."""
+    module = Module("jac")
+    a = module.add_buffer("A", (32,), F32)
+    b = module.add_buffer("B", (32,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("t", 0, 4):
+        with builder.loop("i", 1, 31):
+            total = builder.add(
+                builder.load(a, [LinExpr.var("i") - 1]),
+                builder.load(a, [LinExpr.var("i") + 1]),
+            )
+            builder.store(total, b, ["i"])
+        with builder.loop("i2", 1, 31):
+            builder.store(builder.load(b, ["i2"]), a, ["i2"])
+    deps = deps_of(module)
+    assert deps  # B and A flow between the sweeps across time
+    assert not is_parallel_dim(deps, 0)
+
+
+def test_negative_distance_kept_after_positive():
+    """a[i][j] = a[i-1][j+1]: distance (1, -1) is lexicographically valid."""
+    module = Module("skew")
+    a = module.add_buffer("a", (8, 8), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 1, 8):
+        with builder.loop("j", 0, 7):
+            builder.store(
+                builder.load(
+                    a, [LinExpr.var("i") - 1, LinExpr.var("j") + 1]
+                ),
+                a,
+                ["i", "j"],
+            )
+    deps = deps_of(module)
+    assert any(d.directions == (1, -1) for d in deps)
+    # (1,-1) is not componentwise non-negative: band must stop at depth 1
+    assert permutable_prefix_depth(deps, 2) == 1
+    assert not is_parallel_dim(deps, 0)
+    # refined lex-positivity: nothing carried at j without i moving
+    assert is_parallel_dim(deps, 1)
+
+
+def test_carried_possible_semantics():
+    dep = Dependence("S0", "S0", "A", (0, "0+", "*"))
+    assert not dep.carried_possible_at(0)
+    assert dep.carried_possible_at(1)
+    assert dep.carried_possible_at(2)
+    assert dep.nonnegative_through(2)
+    assert not dep.nonnegative_through(3)
+
+
+def test_coupled_subscripts_conservative():
+    """conv-style a[2i + k]: coupled dims become unknown but output deps
+    on the write buffer stay exact."""
+    module = Module("conv1d")
+    x = module.add_buffer("x", (64,), F32)
+    w = module.add_buffer("w", (3,), F32)
+    y = module.add_buffer("y", (31,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, 31):
+        with builder.loop("k", 0, 3):
+            val = builder.add(
+                builder.load(y, ["i"]),
+                builder.mul(
+                    builder.load(x, [LinExpr.var("i") * 2 + LinExpr.var("k")]),
+                    builder.load(w, ["k"]),
+                ),
+            )
+            builder.store(val, y, ["i"])
+    deps = deps_of(module)
+    # y self-dependence: i distance fixed 0, k unknown-but-nonneg
+    assert any(d.directions == (0, "0+") for d in deps)
+    assert is_parallel_dim(deps, 0)
+    assert permutable_prefix_depth(deps, 2) == 2

@@ -1,0 +1,150 @@
+"""Tiling/parallelization tests: legality and semantics preservation."""
+
+import numpy as np
+import pytest
+
+from repro.ir import F32, IRError, Module, lower_linalg_to_affine, run_module
+from repro.ir.builder import AffineBuilder
+from repro.ir.dialects.affine import (
+    AffineForOp,
+    outer_loops,
+    perfectly_nested_band,
+    verify_affine,
+)
+from repro.ir.dialects.linalg import FillOp, MatmulOp
+from repro.isllite import LinExpr
+from repro.poly import extract_scop, tile_and_parallelize
+
+
+def matmul_module(n=20):
+    module = Module("mm")
+    module.add_buffer("A", (n, n), F32)
+    module.add_buffer("B", (n, n), F32)
+    module.add_buffer("C", (n, n), F32)
+    module.append(FillOp(module.buffers["C"], 0.0))
+    module.append(
+        MatmulOp(
+            module.buffers["A"], module.buffers["B"], module.buffers["C"]
+        )
+    )
+    return lower_linalg_to_affine(module)
+
+
+def test_tile_size_validation():
+    with pytest.raises(IRError):
+        tile_and_parallelize(matmul_module(), tile_size=1)
+
+
+def test_matmul_tiling_structure():
+    module = matmul_module(40)
+    tiled, infos = tile_and_parallelize(module, tile_size=8)
+    assert infos[1].tiled_depth == 3
+    root = outer_loops(tiled)[1]
+    band = perfectly_nested_band(root)
+    assert len(band) == 6  # 3 tile + 3 point loops
+    assert band[0].parallel  # outermost tile loop is the parallel one
+    # point loops carry composite min/max bounds
+    assert len(band[3].uppers) == 2
+
+
+def test_tiling_preserves_semantics():
+    module = matmul_module(37)  # non-multiple of the tile size
+    tiled, _ = tile_and_parallelize(module, tile_size=8)
+    tiled.verify()
+    verify_affine(tiled)
+    ref = run_module(module, seed=5)
+    out = run_module(tiled, seed=5)
+    np.testing.assert_allclose(ref["C"], out["C"], rtol=1e-7)
+
+
+def test_tiled_domains_cover_same_points():
+    module = matmul_module(37)
+    tiled, _ = tile_and_parallelize(module, tile_size=8)
+    orig = extract_scop(module)
+    new = extract_scop(tiled)
+    for before, after in zip(orig.statements, new.statements):
+        assert before.domain_size({}) == after.domain_size({})
+
+
+def test_small_loops_not_tiled():
+    module = matmul_module(8)  # trip count below the tile size
+    tiled, infos = tile_and_parallelize(module, tile_size=32)
+    assert infos[1].tiled_depth == 0
+    # still parallelized
+    root = outer_loops(tiled)[1]
+    assert root.parallel
+
+
+def test_sequential_scan_not_parallelized():
+    module = Module("scan")
+    x = module.add_buffer("x", (64,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 1, 64):
+        val = builder.add(
+            builder.load(x, [LinExpr.var("i") - 1]), builder.const(1.0)
+        )
+        builder.store(val, x, ["i"])
+    tiled, infos = tile_and_parallelize(module, tile_size=8)
+    assert infos[0].parallel_dim is None
+    assert infos[0].tiled_depth == 0
+    root = outer_loops(tiled)[0]
+    assert not root.parallel
+    ref = run_module(module, seed=1)
+    out = run_module(tiled, seed=1)
+    np.testing.assert_allclose(ref["x"], out["x"])
+
+
+def test_triangular_band_restricted():
+    """Triangular inner bounds depend on the outer iv: only rectangle-safe
+    prefixes are tiled."""
+    module = Module("tri")
+    a = module.add_buffer("A", (64, 64), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, 64):
+        with builder.loop("j", 0, LinExpr.var("i") + 1):
+            builder.store(builder.const(1.0), a, ["i", "j"])
+    tiled, infos = tile_and_parallelize(module, tile_size=8)
+    assert infos[0].tiled_depth == 0  # band is 2 wide but not rectangular
+    ref = run_module(module, seed=0)
+    out = run_module(tiled, seed=0)
+    np.testing.assert_allclose(ref["A"], out["A"])
+
+
+def test_original_module_not_mutated():
+    module = matmul_module(40)
+    before = [op for op in module.ops]
+    depths = [len(perfectly_nested_band(op)) for op in before]
+    tile_and_parallelize(module, tile_size=8)
+    after_depths = [len(perfectly_nested_band(op)) for op in module.ops]
+    assert depths == after_depths
+    assert module.ops == before
+
+
+def test_stencil_time_loop_untouched():
+    module = Module("jac")
+    a = module.add_buffer("A", (128,), F32)
+    b = module.add_buffer("B", (128,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("t", 0, 4):
+        with builder.loop("i", 1, 127):
+            total = builder.add(
+                builder.load(a, [LinExpr.var("i") - 1]),
+                builder.load(a, [LinExpr.var("i") + 1]),
+            )
+            builder.store(total, b, ["i"])
+        with builder.loop("i2", 1, 127):
+            builder.store(builder.load(b, ["i2"]), a, ["i2"])
+    tiled, infos = tile_and_parallelize(module, tile_size=16)
+    # the (t) band is depth-1: no tiling; t is carried so not parallel
+    assert infos[0].tiled_depth == 0
+    assert infos[0].parallel_dim is None
+    ref = run_module(module, seed=2)
+    out = run_module(tiled, seed=2)
+    np.testing.assert_allclose(ref["A"], out["A"])
+
+
+def test_tile_info_records_dependences():
+    module = matmul_module(40)
+    _, infos = tile_and_parallelize(module, tile_size=8)
+    assert infos[1].dependences
+    assert infos[1].band_depth == 3

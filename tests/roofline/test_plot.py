@@ -1,0 +1,79 @@
+"""Tests for the ASCII roofline renderer."""
+
+import pytest
+
+from repro.hw import raptorlake_sim
+from repro.roofline import calibrate_platform
+from repro.roofline.plot import RooflinePoint, render_roofline
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return calibrate_platform(raptorlake_sim())
+
+
+def test_render_contains_roof_and_ridge(constants):
+    text = render_roofline(constants, [])
+    assert "/" in text  # bandwidth diagonal
+    assert "-" in text  # compute ceiling
+    assert ":" in text  # machine-balance ridge
+    assert "balance" in text
+    assert "OI (FpB)" in text
+
+
+def test_points_plotted_with_markers(constants):
+    points = [
+        RooflinePoint("gemm", 24.0, 0.0),
+        RooflinePoint("mvt", 0.5, 0.0),
+    ]
+    text = render_roofline(constants, points)
+    assert "G = gemm" in text and "(OI 24.00, CB)" in text
+    assert "M = mvt" in text and "(OI 0.50, BB)" in text
+    grid_lines = [line for line in text.splitlines() if "|" in line]
+    assert any("G" in line for line in grid_lines)
+    assert any("M" in line for line in grid_lines)
+
+
+def test_cb_point_right_of_ridge(constants):
+    text = render_roofline(
+        constants, [RooflinePoint("x", constants.b_t_dram * 8, 0.0)]
+    )
+    for line in text.splitlines():
+        if "X" in line and "|" in line:
+            ridge = line.index(":") if ":" in line else None
+            marker = line.index("X")
+            if ridge is not None:
+                assert marker > ridge
+            break
+
+
+def test_fixed_dimensions(constants):
+    text = render_roofline(constants, [], width=40, height=10)
+    grid_lines = [line for line in text.splitlines() if "|" in line]
+    assert len(grid_lines) == 10
+    assert all(len(line) <= 40 + 11 for line in grid_lines)
+
+
+def test_measured_performance_positions_below_roof(constants):
+    roof_point = RooflinePoint("a", 1.0, 0.0)
+    slow_point = RooflinePoint("b", 1.0, constants.bandwidth_at(4.6) * 0.1)
+    text_roof = render_roofline(constants, [roof_point])
+    text_slow = render_roofline(constants, [slow_point])
+
+    def marker_row(text, marker):
+        for row, line in enumerate(text.splitlines()):
+            if "|" in line and marker in line.split("|", 1)[1]:
+                return row
+        return None
+
+    assert marker_row(text_slow, "B") > marker_row(text_roof, "A")
+
+
+def test_cli_roofline_command(capsys):
+    from repro.cli import main
+
+    code = main(["roofline", "doitgen", "-p", "rpl"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "doitgen" in out
+    assert "balance" in out
