@@ -1,0 +1,179 @@
+"""CM-engine performance benchmark: fast vs reference, serial vs workers.
+
+Times trace generation and PolyUFC-CM evaluation on representative
+PolyBench kernels, for both the set-associative (SA) and fully-associative
+(FA) RPL hierarchies and both CM engines, and times per-unit
+characterization serially vs through the thread pool.  Results (and the
+engines' agreement check) land in ``BENCH_cm.json`` at the repo root so
+later PRs can track the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_perf_cm.py            # full matrix
+    PYTHONPATH=src python benchmarks/bench_perf_cm.py --smoke    # CI-sized
+
+The ``trisolv@2mm-sized`` row scales trisolv until its trace matches the
+2mm trace length (~4.1M accesses) -- the reference loop's per-access cost
+explodes with deep LRU stacks, which is exactly the regime the vectorized
+engine exists for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.benchsuite.polybench import POLYBENCH_BUILDERS
+from repro.cache import generate_trace, polyufc_cm
+from repro.cache.memo import clear_memo
+from repro.hw.platform import PLATFORMS
+from repro.mlpolyufc.characterization import characterize_units
+from repro.pipeline import get_constants
+from repro.poly.transforms import tile_and_parallelize
+
+# (row label, builder kwargs).  trisolv at n=1433 produces a 2mm-sized
+# trace (~4.1M accesses) while exercising deep-stack reference behaviour.
+FULL_CASES = [
+    ("2mm", "2mm", {}),
+    ("3mm", "3mm", {}),
+    ("atax", "atax", {}),
+    ("mvt", "mvt", {}),
+    ("trisolv", "trisolv", {}),
+    ("trisolv@2mm-sized", "trisolv", {"n": 1433}),
+]
+SMOKE_CASES = [
+    ("atax", "atax", {}),
+    ("trisolv", "trisolv", {}),
+]
+
+
+def time_call(fn, reps):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def cm_rows(cases, reps, fast_reps):
+    hierarchy = PLATFORMS["rpl"]().hierarchy
+    variants = [("SA", hierarchy), ("FA", hierarchy.fully_associative())]
+    rows = []
+    for label, kernel, kwargs in cases:
+        module = POLYBENCH_BUILDERS[kernel](**kwargs)
+        trace_s, trace = time_call(lambda: generate_trace(module), 1)
+        for hier_label, hier in variants:
+            fast_s, fast = time_call(
+                lambda: polyufc_cm(trace, hier, engine="fast"), fast_reps
+            )
+            ref_s, reference = time_call(
+                lambda: polyufc_cm(trace, hier, engine="reference"), reps
+            )
+            row = {
+                "kernel": label,
+                "hierarchy": hier_label,
+                "accesses": len(trace),
+                "trace_s": round(trace_s, 4),
+                "fast_s": round(fast_s, 4),
+                "reference_s": round(ref_s, 4),
+                "speedup": round(ref_s / fast_s, 2) if fast_s else None,
+                "engines_match": fast == reference,
+            }
+            rows.append(row)
+            print(
+                f"{label:>20} {hier_label}  n={len(trace):>9,}  "
+                f"fast={fast_s:8.3f}s  ref={ref_s:8.3f}s  "
+                f"speedup={row['speedup']:6.2f}x  "
+                f"{'OK' if row['engines_match'] else 'MISMATCH'}"
+            )
+            if not row["engines_match"]:
+                raise SystemExit(
+                    f"engine disagreement on {label}/{hier_label}"
+                )
+    return rows
+
+
+def workers_section(reps):
+    """Per-unit characterization: serial vs thread pool, same results."""
+    platform = PLATFORMS["rpl"]()
+    constants = get_constants(platform)
+    module = POLYBENCH_BUILDERS["2mm"]()
+    tiled, _ = tile_and_parallelize(module, tile_size=32)
+
+    def run(workers):
+        clear_memo()  # measure computation, not replay
+        return characterize_units(
+            tiled, platform, constants, workers=workers
+        )
+
+    serial_s, serial = time_call(lambda: run(1), reps)
+    pooled_s, pooled = time_call(lambda: run(4), reps)
+    assert [u.name for u in serial] == [u.name for u in pooled]
+    assert [u.cm for u in serial] == [u.cm for u in pooled]
+    print(
+        f"{'characterize 2mm':>20} units={len(serial)}  "
+        f"serial={serial_s:.3f}s  workers4={pooled_s:.3f}s"
+    )
+    return {
+        "module": "2mm (tiled)",
+        "units": len(serial),
+        "serial_s": round(serial_s, 4),
+        "workers4_s": round(pooled_s, 4),
+        "speedup": round(serial_s / pooled_s, 2) if pooled_s else None,
+        "deterministic": True,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small kernel set + single rep (CI)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="output JSON path (default: BENCH_cm.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    reps = 1
+    fast_reps = 1 if args.smoke else 2
+    rows = cm_rows(cases, reps, fast_reps)
+    workers = workers_section(1)
+
+    speedups = [row["speedup"] for row in rows]
+    payload = {
+        "host": {
+            "machine": platform_mod.machine(),
+            "python": platform_mod.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "smoke": args.smoke,
+        "rows": rows,
+        "workers": workers,
+        "max_speedup": max(speedups),
+        "all_engines_match": all(row["engines_match"] for row in rows),
+    }
+    output = (
+        Path(args.output)
+        if args.output
+        else Path(__file__).resolve().parents[1] / "BENCH_cm.json"
+    )
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output} (max speedup {payload['max_speedup']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,9 +18,17 @@ from repro.cache.config import CacheHierarchy, CacheLevelConfig
 from repro.cache.trace import AccessTrace, generate_trace
 from repro.cache.simulator import CacheSimResult, LevelStats, simulate_hierarchy
 from repro.cache.static_model import (
+    CM_ENGINES,
     CacheModelResult,
     LevelModelStats,
     polyufc_cm,
+    resolve_engine,
+)
+from repro.cache.memo import (
+    clear_memo,
+    memoized_cm,
+    memoized_trace,
+    unit_fingerprint,
 )
 from repro.cache.polyhedral_model import (
     ExactLevelCounts,
@@ -39,6 +47,12 @@ __all__ = [
     "CacheModelResult",
     "LevelModelStats",
     "polyufc_cm",
+    "CM_ENGINES",
+    "resolve_engine",
+    "clear_memo",
+    "memoized_cm",
+    "memoized_trace",
+    "unit_fingerprint",
     "ExactLevelCounts",
     "ExactPolyhedralCM",
     "exact_first_level_counts",

@@ -1,0 +1,274 @@
+"""Memoized trace generation and PolyUFC-CM evaluation.
+
+Benchmark sweeps and the Fig. 6/7/8 experiment harnesses characterize the
+same units over and over (same ops, same problem sizes, same hierarchy).
+This module gives those call sites content-addressed reuse:
+
+* :func:`unit_fingerprint` -- a stable digest of everything the trace+CM
+  result depends on: the printed IR of the traced ops (which covers buffer
+  shapes, dtypes and module params), the cache hierarchy geometry, the
+  thread count, the parallel flag, the engine, and the trace budget.
+* :func:`memoized_trace` -- in-process LRU over :func:`generate_trace`.
+* :func:`memoized_cm` -- in-process LRU over the full trace+CM evaluation,
+  plus an optional on-disk layer (JSON per fingerprint) so results survive
+  across processes; point it at a directory via ``memo_dir=`` or
+  ``$REPRO_CM_MEMO_DIR``.
+
+Set ``REPRO_CM_MEMO=0`` to disable all reuse (every call recomputes);
+``REPRO_CM_MEMO_SIZE`` resizes the in-process LRUs (default 64 entries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.cache.config import CacheHierarchy
+from repro.cache.static_model import (
+    CacheModelResult,
+    LevelModelStats,
+    polyufc_cm,
+    resolve_engine,
+)
+from repro.cache.trace import AccessTrace, generate_trace
+from repro.ir.core import Module, Op
+from repro.ir.printer import print_module
+
+#: Bump to invalidate every persisted fingerprint after model changes.
+MEMO_VERSION = 1
+
+_MEMO_ENV = "REPRO_CM_MEMO"
+_MEMO_DIR_ENV = "REPRO_CM_MEMO_DIR"
+_MEMO_SIZE_ENV = "REPRO_CM_MEMO_SIZE"
+
+
+def memo_enabled() -> bool:
+    return os.environ.get(_MEMO_ENV, "") != "0"
+
+
+def _memo_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get(_MEMO_SIZE_ENV, "64")))
+    except ValueError:
+        return 64
+
+
+class _LRU:
+    """A small thread-safe LRU map."""
+
+    def __init__(self, capacity_fn: Callable[[], int] = _memo_capacity):
+        self._data: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._capacity_fn = capacity_fn
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            capacity = self._capacity_fn()
+            while len(self._data) > capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_trace_lru = _LRU()
+_cm_lru = _LRU()
+
+
+def clear_memo() -> None:
+    """Drop every in-process memoized trace and CM result."""
+    _trace_lru.clear()
+    _cm_lru.clear()
+
+
+def _ops_blob(module: Module, ops: Optional[Sequence[Op]]) -> str:
+    """The content the trace depends on: printed IR + traced op indices.
+
+    The printed module covers buffer shapes/dtypes, module params, loop
+    bounds, subscripts and write flags; the op indices pin *which*
+    top-level nests are traced.
+    """
+    text = print_module(module)
+    if ops is None:
+        indices = "all"
+    else:
+        position = {id(op): i for i, op in enumerate(module.ops)}
+        indices = ",".join(str(position.get(id(op), -1)) for op in ops)
+    return f"{text}\n#ops={indices}"
+
+
+def _hierarchy_key(hierarchy: CacheHierarchy) -> Tuple:
+    return tuple(
+        (lvl.name, lvl.size_bytes, lvl.line_bytes, lvl.associativity)
+        for lvl in hierarchy.levels
+    )
+
+
+def trace_fingerprint(
+    module: Module,
+    ops: Optional[Sequence[Op]] = None,
+    max_accesses: int = 60_000_000,
+) -> str:
+    blob = json.dumps(
+        [MEMO_VERSION, _ops_blob(module, ops), max_accesses], sort_keys=True
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def unit_fingerprint(
+    module: Module,
+    ops: Optional[Sequence[Op]],
+    hierarchy: CacheHierarchy,
+    threads: int = 1,
+    parallel: bool = False,
+    engine: Optional[str] = None,
+    max_accesses: int = 60_000_000,
+) -> str:
+    """Content digest of a full (ops, params, hierarchy, threads, parallel)
+    characterization request."""
+    blob = json.dumps(
+        [
+            MEMO_VERSION,
+            _ops_blob(module, ops),
+            _hierarchy_key(hierarchy),
+            threads,
+            parallel,
+            resolve_engine(engine),
+            max_accesses,
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def memoized_trace(
+    module: Module,
+    ops: Optional[Sequence[Op]] = None,
+    max_accesses: int = 60_000_000,
+) -> AccessTrace:
+    """``generate_trace`` behind the in-process LRU."""
+    if not memo_enabled():
+        return generate_trace(module, ops, max_accesses=max_accesses)
+    key = trace_fingerprint(module, ops, max_accesses)
+    cached = _trace_lru.get(key)
+    if cached is not None:
+        return cached
+    trace = generate_trace(module, ops, max_accesses=max_accesses)
+    _trace_lru.put(key, trace)
+    return trace
+
+
+def _cm_to_payload(cm: CacheModelResult) -> dict:
+    return {
+        "line_bytes": cm.line_bytes,
+        "total_accesses": cm.total_accesses,
+        "threads": cm.threads,
+        "levels": [
+            {
+                "name": lvl.name,
+                "accesses": lvl.accesses,
+                "cold_misses": lvl.cold_misses,
+                "capacity_conflict_misses": lvl.capacity_conflict_misses,
+            }
+            for lvl in cm.levels
+        ],
+    }
+
+
+def _cm_from_payload(payload: dict) -> CacheModelResult:
+    levels = tuple(
+        LevelModelStats(
+            name=lvl["name"],
+            accesses=lvl["accesses"],
+            cold_misses=lvl["cold_misses"],
+            capacity_conflict_misses=lvl["capacity_conflict_misses"],
+        )
+        for lvl in payload["levels"]
+    )
+    return CacheModelResult(
+        levels,
+        payload["line_bytes"],
+        payload["total_accesses"],
+        payload["threads"],
+    )
+
+
+def _resolve_memo_dir(memo_dir) -> Optional[Path]:
+    if memo_dir is None:
+        memo_dir = os.environ.get(_MEMO_DIR_ENV) or None
+    return Path(memo_dir) if memo_dir is not None else None
+
+
+def memoized_cm(
+    module: Module,
+    ops: Optional[Sequence[Op]],
+    hierarchy: CacheHierarchy,
+    threads: int = 1,
+    parallel: bool = False,
+    engine: Optional[str] = None,
+    max_accesses: int = 60_000_000,
+    memo_dir=None,
+) -> CacheModelResult:
+    """The trace+CM evaluation of one unit, memoized.
+
+    Layering: in-process LRU, then the on-disk JSON store (when a
+    directory is configured), then the real computation -- whose trace
+    goes through :func:`memoized_trace` so an immediately following
+    different-hierarchy request reuses it.
+    """
+    if not memo_enabled():
+        trace = generate_trace(module, ops, max_accesses=max_accesses)
+        return polyufc_cm(
+            trace, hierarchy, threads=threads, parallel=parallel,
+            engine=engine,
+        )
+    key = unit_fingerprint(
+        module, ops, hierarchy, threads, parallel, engine, max_accesses
+    )
+    cached = _cm_lru.get(key)
+    if cached is not None:
+        return cached
+    directory = _resolve_memo_dir(memo_dir)
+    path = directory / f"cm_{key}.json" if directory else None
+    if path is not None and path.exists():
+        try:
+            cm = _cm_from_payload(json.loads(path.read_text()))
+        except (ValueError, KeyError):
+            cm = None  # corrupt entry: recompute and overwrite
+        if cm is not None:
+            _cm_lru.put(key, cm)
+            return cm
+    trace = memoized_trace(module, ops, max_accesses=max_accesses)
+    cm = polyufc_cm(
+        trace, hierarchy, threads=threads, parallel=parallel, engine=engine
+    )
+    _cm_lru.put(key, cm)
+    if path is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(json.dumps(_cm_to_payload(cm)))
+        tmp.replace(path)  # atomic publish; concurrent writers agree
+    return cm

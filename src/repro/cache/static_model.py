@@ -29,13 +29,34 @@ reports (<7 % performance estimation error on RPL, Fig. 6).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.cache.config import CacheHierarchy, CacheLevelConfig
+from repro.cache.fast_model import model_level as _fast_model_level
 from repro.cache.trace import AccessTrace
+
+#: Selectable CM evaluation engines.  ``fast`` is the vectorized NumPy
+#: stack-distance kernel (:mod:`repro.cache.fast_model`); ``reference``
+#: is the original per-access Python loop, kept as the bit-for-bit
+#: oracle.  Both produce identical :class:`LevelModelStats`.
+CM_ENGINES = ("fast", "reference")
+
+_ENGINE_ENV = "REPRO_CM_ENGINE"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine name: explicit arg > $REPRO_CM_ENGINE > fast."""
+    if engine is None:
+        engine = os.environ.get(_ENGINE_ENV) or "fast"
+    if engine not in CM_ENGINES:
+        raise ValueError(
+            f"unknown CM engine {engine!r}; expected one of {CM_ENGINES}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -153,22 +174,32 @@ def polyufc_cm(
     hierarchy: CacheHierarchy,
     threads: int = 1,
     parallel: bool = False,
+    engine: Optional[str] = None,
 ) -> CacheModelResult:
     """Run PolyUFC-CM over a kernel's scheduled access relation.
 
     ``threads``/``parallel`` enable the paper's OpenMP sharing heuristic:
     miss counts of loop-parallel kernels are divided by the thread count.
+    ``engine`` selects the level evaluator (:data:`CM_ENGINES`); the
+    default honours ``$REPRO_CM_ENGINE`` and falls back to ``fast``.
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
+    engine = resolve_engine(engine)
     line_ids = trace.line_ids(hierarchy.line_bytes)
-    lines: List[int] = line_ids.tolist()
-    writes: List[bool] = trace.is_write.tolist()
+    if engine == "fast":
+        level_fn = _fast_model_level
+        lines = np.ascontiguousarray(line_ids, dtype=np.int64)
+        writes = np.ascontiguousarray(trace.is_write, dtype=bool)
+    else:
+        level_fn = _model_level
+        lines = line_ids.tolist()
+        writes = trace.is_write.tolist()
     divider = threads if (parallel and threads > 1) else 1
     stats: List[LevelModelStats] = []
     for index, config in enumerate(hierarchy.levels):
         accesses = len(lines)
-        cold, cap_conflict, lines, writes = _model_level(lines, writes, config)
+        cold, cap_conflict, lines, writes = level_fn(lines, writes, config)
         # The paper's heuristic divides miss counts by the thread count to
         # model working-set sharing.  Two refinements keep the counts
         # physical: (1) cold misses are never divided (threads share the

@@ -60,14 +60,21 @@ class AccessTrace:
         return byte_addr // line_bytes
 
     def footprint_bytes(self) -> int:
-        """Total bytes of distinct elements touched."""
-        total = 0
-        for index, buffer in enumerate(self.buffers):
-            mask = self.buffer_ids == index
-            if mask.any():
-                distinct = np.unique(self.offsets[mask]).size
-                total += distinct * buffer.dtype.size_bytes
-        return total
+        """Total bytes of distinct elements touched.
+
+        One vectorized unique over a combined ``(buffer_id, offset)`` key;
+        per-buffer distinct counts fall out of the unique keys' ids.
+        """
+        if not len(self):
+            return 0
+        span = int(self.offsets.max()) + 1 if len(self) else 1
+        key = self.buffer_ids.astype(np.int64) * span + self.offsets
+        unique_ids = np.unique(key) // span
+        counts = np.bincount(unique_ids, minlength=len(self.buffers))
+        sizes = np.array(
+            [b.dtype.size_bytes for b in self.buffers], dtype=np.int64
+        )
+        return int(counts @ sizes)
 
 
 def generate_trace(
@@ -91,6 +98,11 @@ class _TraceGenerator:
         self.chunks_ids: List[np.ndarray] = []
         self.chunks_offsets: List[np.ndarray] = []
         self.chunks_write: List[np.ndarray] = []
+        # Scalar accesses buffer into plain lists and convert in one go
+        # (one three-element array per access costs more than the access).
+        self.scalar_ids: List[int] = []
+        self.scalar_offsets: List[int] = []
+        self.scalar_write: List[bool] = []
         self.count = 0
 
     # -- helpers -----------------------------------------------------------
@@ -239,6 +251,7 @@ class _TraceGenerator:
                 if coeff:
                     column_offsets += coeff * iv_values(d)
             offsets[:, column] = column_offsets
+        self._flush_scalars()  # keep program order ahead of this chunk
         self.chunks_ids.append(ids.reshape(-1))
         self.chunks_offsets.append(offsets.reshape(-1))
         self.chunks_write.append(writes.reshape(-1))
@@ -249,15 +262,24 @@ class _TraceGenerator:
         offset = 0
         for expr, stride in zip(op.indices, buffer.strides()):
             offset += expr.evaluate_int(env) * stride
-        self.chunks_ids.append(
-            np.array([self._buffer_id(buffer)], dtype=np.int32)
+        self.scalar_ids.append(self._buffer_id(buffer))
+        self.scalar_offsets.append(offset)
+        self.scalar_write.append(isinstance(op, AffineStoreOp))
+
+    def _flush_scalars(self) -> None:
+        if not self.scalar_ids:
+            return
+        self.chunks_ids.append(np.array(self.scalar_ids, dtype=np.int32))
+        self.chunks_offsets.append(
+            np.array(self.scalar_offsets, dtype=np.int64)
         )
-        self.chunks_offsets.append(np.array([offset], dtype=np.int64))
-        self.chunks_write.append(
-            np.array([isinstance(op, AffineStoreOp)], dtype=bool)
-        )
+        self.chunks_write.append(np.array(self.scalar_write, dtype=bool))
+        self.scalar_ids = []
+        self.scalar_offsets = []
+        self.scalar_write = []
 
     def finish(self) -> AccessTrace:
+        self._flush_scalars()
         if self.chunks_ids:
             ids = np.concatenate(self.chunks_ids)
             offsets = np.concatenate(self.chunks_offsets)

@@ -26,6 +26,18 @@ def _add_platform(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cm_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="thread-pool width for per-unit cache analysis "
+        "(default: $REPRO_CM_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--cm-engine", default=None, choices=["fast", "reference"],
+        help="PolyUFC-CM evaluator (default: $REPRO_CM_ENGINE or fast)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="polyufc", description=__doc__,
@@ -50,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--granularity", default="linalg",
         choices=["torch", "linalg", "affine"],
     )
+    _add_cm_knobs(characterize)
 
     compile_cmd = commands.add_parser(
         "compile", help="print the capped module IR"
@@ -60,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", default="edp",
         choices=["edp", "energy", "performance"],
     )
+    _add_cm_knobs(compile_cmd)
 
     compare = commands.add_parser(
         "compare", help="PolyUFC caps vs the UFS-driver baseline"
@@ -124,10 +138,19 @@ def _cmd_constants(platform_name: str) -> int:
     return 0
 
 
-def _cmd_characterize(kernel: str, platform_name: str, granularity: str) -> int:
+def _cmd_characterize(
+    kernel: str,
+    platform_name: str,
+    granularity: str,
+    workers: Optional[int] = None,
+    cm_engine: Optional[str] = None,
+) -> int:
     from repro.experiments import kernel_report
 
-    report = kernel_report(kernel, platform_name, granularity=granularity)
+    report = kernel_report(
+        kernel, platform_name, granularity=granularity,
+        workers=workers, cm_engine=cm_engine,
+    )
     print(
         f"{kernel} on {report.platform} ({granularity} granularity): "
         f"OI {report.oi_model:.2f} FpB, {report.boundedness}"
@@ -140,7 +163,13 @@ def _cmd_characterize(kernel: str, platform_name: str, granularity: str) -> int:
     return 0
 
 
-def _cmd_compile(kernel: str, platform_name: str, objective: str) -> int:
+def _cmd_compile(
+    kernel: str,
+    platform_name: str,
+    objective: str,
+    workers: Optional[int] = None,
+    cm_engine: Optional[str] = None,
+) -> int:
     from repro.benchsuite import get_benchmark
     from repro.hw import get_platform
     from repro.ir import print_module
@@ -148,7 +177,8 @@ def _cmd_compile(kernel: str, platform_name: str, objective: str) -> int:
 
     platform = get_platform(platform_name)
     result = polyufc_compile(
-        get_benchmark(kernel).module(), platform, objective=objective
+        get_benchmark(kernel).module(), platform, objective=objective,
+        workers=workers, cm_engine=cm_engine,
     )
     print(print_module(result.capped_module))
     return 0
@@ -209,9 +239,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "constants":
         return _cmd_constants(args.platform)
     if args.command == "characterize":
-        return _cmd_characterize(args.kernel, args.platform, args.granularity)
+        return _cmd_characterize(
+            args.kernel, args.platform, args.granularity,
+            args.workers, args.cm_engine,
+        )
     if args.command == "compile":
-        return _cmd_compile(args.kernel, args.platform, args.objective)
+        return _cmd_compile(
+            args.kernel, args.platform, args.objective,
+            args.workers, args.cm_engine,
+        )
     if args.command == "compare":
         return _cmd_compare(args.kernel, args.platform)
     if args.command == "sweep":

@@ -13,6 +13,7 @@ from repro.experiments.runner import (
     baseline_comparison,
     frequency_sweep,
     kernel_report,
+    kernel_reports,
     cache_dir,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "baseline_comparison",
     "frequency_sweep",
     "kernel_report",
+    "kernel_reports",
     "cache_dir",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -149,8 +150,15 @@ def kernel_report(
     epsilon: float = 1e-3,
     cap_overhead_factor: float = 50.0,
     use_cache: bool = True,
+    workers: Optional[int] = None,
+    cm_engine: Optional[str] = None,
 ) -> KernelReport:
-    """Compile one benchmark for one platform; heavy results are cached."""
+    """Compile one benchmark for one platform; heavy results are cached.
+
+    ``workers``/``cm_engine`` tune *how* the cache model runs (thread
+    pool width, fast vs reference engine); they never change the numbers,
+    so they are deliberately not part of the disk-cache key.
+    """
     key = _report_key(
         benchmark, platform, granularity, objective, set_associative,
         tile_size, epsilon, cap_overhead_factor,
@@ -184,6 +192,8 @@ def kernel_report(
         epsilon=epsilon,
         set_associative=set_associative,
         cap_overhead_factor=cap_overhead_factor,
+        workers=workers,
+        cm_engine=cm_engine,
     )
     report = KernelReport(
         benchmark=benchmark,
@@ -227,6 +237,39 @@ def kernel_report(
         payload = asdict(report)
         path.write_text(json.dumps(payload))
     return report
+
+
+def kernel_reports(
+    benchmarks: List[str],
+    platform: str,
+    workers: Optional[int] = None,
+    **report_kwargs,
+) -> List[KernelReport]:
+    """``kernel_report`` over many benchmarks, optionally in parallel.
+
+    With ``workers > 1`` the per-kernel compile+simulate work fans across
+    a thread pool; the returned list always matches the input order.
+    Worker width resolution is shared with the per-unit pool
+    (:func:`repro.mlpolyufc.characterization.resolve_workers`).
+    """
+    from repro.mlpolyufc.characterization import resolve_workers
+
+    width = resolve_workers(workers)
+
+    if width > 1 and len(benchmarks) > 1:
+        # Per-kernel parallelism wins; keep each kernel's unit pool serial.
+        def one(benchmark: str) -> KernelReport:
+            return kernel_report(
+                benchmark, platform, workers=1, **report_kwargs
+            )
+
+        with ThreadPoolExecutor(max_workers=width) as pool:
+            # map preserves input order -> deterministic result list.
+            return list(pool.map(one, benchmarks))
+    return [
+        kernel_report(benchmark, platform, workers=workers, **report_kwargs)
+        for benchmark in benchmarks
+    ]
 
 
 @dataclass

@@ -148,11 +148,54 @@ def _monte_carlo(
         size=(options.mc_samples, len(dims)),
         dtype=np.int64,
     )
-    hits = 0
-    for row in samples:
-        if bset.contains(tuple(int(v) for v in row), env):
-            hits += 1
+    hits = _count_contained(bset, samples, env)
     return CountResult(volume * hits / options.mc_samples, exact=False)
+
+
+def _count_contained(
+    bset: BasicSet, samples: np.ndarray, env: Mapping[str, int]
+) -> int:
+    """How many sample rows satisfy every constraint of ``bset``.
+
+    Evaluates all constraints over the full ``(mc_samples, dims)`` matrix:
+    with integer coefficient matrix ``A`` and constants ``b``, a row ``x``
+    is inside iff ``A @ x + b`` is ``== 0`` on equality rows and ``>= 0``
+    on inequality rows.  Falls back to the scalar ``contains`` walk when a
+    constraint has non-integer coefficients after substitution.
+    """
+    dims = bset.space.dims
+    substituted = [c.partial(env) for c in bset.constraints]
+    rows: List[List[int]] = []
+    consts: List[int] = []
+    eq_flags: List[bool] = []
+    for con in substituted:
+        if not con.expr.names() <= set(dims):
+            break
+        coeffs = [con.expr.coeff(dim) for dim in dims]
+        values = coeffs + [con.expr.const]
+        if not all(float(v).is_integer() for v in values):
+            break
+        rows.append([int(v) for v in coeffs])
+        consts.append(int(con.expr.const))
+        eq_flags.append(con.is_eq)
+    else:
+        if not rows:
+            return samples.shape[0]
+        matrix = np.array(rows, dtype=np.int64)
+        const = np.array(consts, dtype=np.int64)
+        values = samples @ matrix.T + const  # (samples, constraints)
+        is_eq = np.array(eq_flags, dtype=bool)
+        inside = np.ones(samples.shape[0], dtype=bool)
+        if is_eq.any():
+            inside &= (values[:, is_eq] == 0).all(axis=1)
+        if (~is_eq).any():
+            inside &= (values[:, ~is_eq] >= 0).all(axis=1)
+        return int(inside.sum())
+    return sum(
+        1
+        for row in samples
+        if bset.contains(tuple(int(v) for v in row), env)
+    )
 
 
 def _count_basic(

@@ -16,11 +16,13 @@ Sec. V parametric model.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.static_model import CacheModelResult, polyufc_cm
-from repro.cache.trace import generate_trace
+from repro.cache.memo import memoized_cm
+from repro.cache.static_model import CacheModelResult
 from repro.ir.core import IRError, Module, Op
 from repro.ir.dialects.affine import AffineForOp
 from repro.model.parametric import KernelSummary, PolyUFCModel, summary_from_cm
@@ -106,6 +108,16 @@ def _is_parallel_unit(ops: Sequence[Op]) -> bool:
     return False
 
 
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker-pool width: explicit arg > $REPRO_CM_WORKERS > serial."""
+    if workers is None:
+        try:
+            workers = int(os.environ.get("REPRO_CM_WORKERS", "1"))
+        except ValueError:
+            workers = 1
+    return max(1, workers)
+
+
 def characterize_units(
     module: Module,
     platform: PlatformSpec,
@@ -114,9 +126,18 @@ def characterize_units(
     threads: Optional[int] = None,
     set_associative: bool = True,
     max_trace_accesses: int = 60_000_000,
+    workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[UnitCharacterization]:
-    """Characterize every capping unit of an affine module."""
+    """Characterize every capping unit of an affine module.
+
+    ``workers > 1`` fans the per-unit trace+CM work across a thread pool
+    (the heavy NumPy kernels release the GIL); results keep the module's
+    unit order regardless of completion order.  ``engine`` selects the CM
+    evaluator (see :data:`repro.cache.static_model.CM_ENGINES`).
+    """
     threads = platform.threads if threads is None else threads
+    workers = resolve_workers(workers)
     hierarchy = (
         platform.hierarchy
         if set_associative
@@ -129,26 +150,38 @@ def characterize_units(
         flops_by_root[id(root)] = flops_by_root.get(id(root), 0) + (
             statement.total_flops(scop.params)
         )
-    results: List[UnitCharacterization] = []
-    for name, ops in group_affine_units(module, granularity):
+    units = group_affine_units(module, granularity)
+
+    def characterize_one(unit: Tuple[str, List[Op]]) -> UnitCharacterization:
+        name, ops = unit
         omega = sum(flops_by_root.get(id(op), 0) for op in ops)
         parallel = _is_parallel_unit(ops)
-        trace = generate_trace(module, ops, max_accesses=max_trace_accesses)
-        cm = polyufc_cm(trace, hierarchy, threads=threads, parallel=parallel)
+        cm = memoized_cm(
+            module,
+            ops,
+            hierarchy,
+            threads=threads,
+            parallel=parallel,
+            engine=engine,
+            max_accesses=max_trace_accesses,
+        )
         cores_used = min(threads, platform.cores) if parallel else 1
         summary = summary_from_cm(
             name, omega, cm, cores_fraction=cores_used / platform.cores
         )
         model = PolyUFCModel(constants, summary)
-        results.append(
-            UnitCharacterization(
-                name=name,
-                ops=list(ops),
-                omega=omega,
-                cm=cm,
-                summary=summary,
-                model=model,
-                parallel=parallel,
-            )
+        return UnitCharacterization(
+            name=name,
+            ops=list(ops),
+            omega=omega,
+            cm=cm,
+            summary=summary,
+            model=model,
+            parallel=parallel,
         )
-    return results
+
+    if workers > 1 and len(units) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # executor.map preserves input order -> deterministic results.
+            return list(pool.map(characterize_one, units))
+    return [characterize_one(unit) for unit in units]

@@ -126,8 +126,16 @@ def polyufc_compile(
     cm_timeout_s: Optional[float] = None,
     cap_overhead_factor: float = 50.0,
     verify: bool = True,
+    workers: Optional[int] = None,
+    cm_engine: Optional[str] = None,
 ) -> PolyUFCResult:
-    """Run the full PolyUFC flow on one module."""
+    """Run the full PolyUFC flow on one module.
+
+    ``workers`` fans per-unit cache analysis across a thread pool and
+    ``cm_engine`` selects the PolyUFC-CM evaluator (``fast`` or
+    ``reference``); both default to the ``REPRO_CM_WORKERS`` /
+    ``REPRO_CM_ENGINE`` environment knobs.
+    """
     constants = constants if constants is not None else get_constants(platform)
     timings = StageTimings()
 
@@ -155,6 +163,8 @@ def polyufc_compile(
             granularity=granularity,
             threads=threads,
             set_associative=set_associative,
+            workers=workers,
+            engine=cm_engine,
         )
     finally:
         timings.polyufc_cm_ms = (time.perf_counter() - started) * 1e3

@@ -143,3 +143,52 @@ def test_linalg_op_rejected():
     module.append(FillOp(c, 0.0))
     with pytest.raises(IRError):
         generate_trace(module)
+
+
+def test_scalar_and_rect_chunks_interleave_in_program_order():
+    """Scalar buffering must flush before each vectorized chunk lands."""
+    module = Module("mixed")
+    n = 3
+    a = module.add_buffer("A", (n,), F32)
+    c = module.add_buffer("C", (n, n), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, n):
+        builder.store(builder.const(1.0), a, ["i"])  # scalar path
+        with builder.loop("j", 0, n):  # rectangular under fixed i
+            builder.store(builder.const(0.0), c, ["i", "j"])
+    trace = generate_trace(module)
+    names = [trace.buffers[b].name for b in trace.buffer_ids]
+    assert names == (["A"] + ["C"] * n) * n
+    assert trace.offsets.tolist() == [
+        off
+        for i in range(n)
+        for off in [i] + [i * n + j for j in range(n)]
+    ]
+
+
+def test_footprint_matches_per_buffer_unique():
+    module = Module("mm")
+    n = 7
+    a = module.add_buffer("A", (n, n), F32)
+    b = module.add_buffer("B", (n, n), F32)
+    c = module.add_buffer("C", (n, n), F64)
+    module.append(FillOp(c, 0.0))
+    module.append(MatmulOp(a, b, c))
+    trace = generate_trace(lower_linalg_to_affine(module))
+    expected = 0
+    for index, buffer in enumerate(trace.buffers):
+        mask = trace.buffer_ids == index
+        if mask.any():
+            expected += (
+                np.unique(trace.offsets[mask]).size * buffer.dtype.size_bytes
+            )
+    assert trace.footprint_bytes() == expected
+
+
+def test_footprint_empty_trace():
+    module = Module("empty")
+    module.add_buffer("A", (4,), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, 0):
+        pass
+    assert generate_trace(module).footprint_bytes() == 0

@@ -1,0 +1,56 @@
+"""The vectorized Monte-Carlo membership test vs the scalar walk."""
+
+import numpy as np
+
+from repro.isllite import LinExpr
+from repro.isllite.constraint import Constraint
+from repro.isllite.count import CountOptions, _count_contained, count_points
+from repro.isllite.sets import BasicSet
+from repro.isllite.space import Space
+
+
+def triangle(n=30):
+    i, j = LinExpr.var("i"), LinExpr.var("j")
+    return BasicSet(
+        Space(("i", "j")),
+        [
+            Constraint(i),  # i >= 0
+            Constraint(j),  # j >= 0
+            Constraint(-i + n),  # i <= n
+            Constraint(-j + i),  # j <= i
+        ],
+    )
+
+
+def test_count_contained_matches_scalar():
+    bset = triangle()
+    rng = np.random.default_rng(0)
+    samples = rng.integers(-5, 40, size=(500, 2), dtype=np.int64)
+    expected = sum(
+        1 for row in samples if bset.contains((int(row[0]), int(row[1])), {})
+    )
+    assert _count_contained(bset, samples, {}) == expected
+
+
+def test_count_contained_with_equality():
+    i, j = LinExpr.var("i"), LinExpr.var("j")
+    bset = BasicSet(
+        Space(("i", "j")),
+        [Constraint(i - j, is_eq=True), Constraint(i), Constraint(-i + 20)],
+    )
+    rng = np.random.default_rng(1)
+    samples = rng.integers(-3, 25, size=(300, 2), dtype=np.int64)
+    expected = sum(
+        1 for row in samples if bset.contains((int(row[0]), int(row[1])), {})
+    )
+    assert _count_contained(bset, samples, {}) == expected
+
+
+def test_monte_carlo_estimate_close_to_exact():
+    bset = triangle(n=200)
+    exact = count_points(bset)
+    estimate = count_points(
+        bset, options=CountOptions(budget=10, mc_samples=40_000, seed=3)
+    )
+    assert not estimate.exact
+    assert abs(float(estimate) - float(exact)) / float(exact) < 0.05

@@ -1,0 +1,49 @@
+"""Parallel unit characterization must be deterministic."""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.cache.memo import clear_memo
+from repro.hw import get_platform
+from repro.mlpolyufc.characterization import (
+    characterize_units,
+    resolve_workers,
+)
+from repro.pipeline import get_constants
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+def test_workers_preserve_order_and_results():
+    platform = get_platform("rpl")
+    constants = get_constants(platform)
+    module = get_benchmark("2mm").module()
+    from repro.poly.transforms import tile_and_parallelize
+
+    tiled, _ = tile_and_parallelize(module, tile_size=32)
+    serial = characterize_units(tiled, platform, constants, workers=1)
+    clear_memo()  # make the parallel run recompute, not replay
+    parallel = characterize_units(tiled, platform, constants, workers=4)
+    assert len(serial) > 1, "need a multi-unit kernel for this test"
+    assert [u.name for u in serial] == [u.name for u in parallel]
+    for left, right in zip(serial, parallel):
+        assert left.cm == right.cm
+        assert left.omega == right.omega
+        assert left.parallel == right.parallel
+        assert str(left.boundedness) == str(right.boundedness)
+
+
+def test_resolve_workers(monkeypatch):
+    assert resolve_workers(3) == 3
+    assert resolve_workers(0) == 1
+    monkeypatch.setenv("REPRO_CM_WORKERS", "5")
+    assert resolve_workers() == 5
+    monkeypatch.setenv("REPRO_CM_WORKERS", "nope")
+    assert resolve_workers() == 1
+    monkeypatch.delenv("REPRO_CM_WORKERS")
+    assert resolve_workers() == 1
