@@ -52,11 +52,12 @@ evaluation speed, not the Sec. IV model semantics.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.cache.config import CacheLevelConfig
+from repro.runtime import Deadline, check as _check_deadline, faults
 
 # Chunk width of the offline counting (stage 6).
 _CHUNK = 32
@@ -173,12 +174,17 @@ def _prev_occurrence(kept_lines: np.ndarray) -> np.ndarray:
     return prev_idx
 
 
+#: Interior-chunk rounds between cooperative checkpoints (stage 6a).
+_ROUNDS_PER_CHECK = 8
+
+
 def _count_hard_queries(
     prev_pos: np.ndarray,
     hard_idx: np.ndarray,
     hard_gp: np.ndarray,
     hard_p: np.ndarray,
     assoc: int,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """First-in-window counts for the hard queries (stage 6a).
 
@@ -251,9 +257,12 @@ def _count_hard_queries(
     mid[same_chunk] = 0
     cursor = first_chunk.copy()
     active = np.flatnonzero((mid > 0) & (counts < assoc))
-    for _ in range(_ROUND_LIMIT):
+    for round_index in range(_ROUND_LIMIT):
         if not active.size:
             break
+        if round_index % _ROUNDS_PER_CHECK == 0:
+            faults.fire("cm.chunk")
+            _check_deadline(deadline, "cm.chunk")
         counts[active] += np.sum(
             work2d[cursor[active]] <= hp[active, None],
             axis=1,
@@ -267,7 +276,12 @@ def _count_hard_queries(
     return counts, active
 
 
-def _prefix_count(w: np.ndarray, gi: np.ndarray, wq: np.ndarray) -> np.ndarray:
+def _prefix_count(
+    w: np.ndarray,
+    gi: np.ndarray,
+    wq: np.ndarray,
+    deadline: Optional[Deadline] = None,
+) -> np.ndarray:
     """``#{ j < gi[q] : w[j] <= wq[q] }`` for every query ``q`` (stage 6b).
 
     Offline Fenwick-style counting in radix-8: the prefix ``[0, gi)``
@@ -294,6 +308,7 @@ def _prefix_count(w: np.ndarray, gi: np.ndarray, wq: np.ndarray) -> np.ndarray:
     max_chunks = int(chunks.max())
     k = 0
     while (max_chunks >> (3 * k)) > 0:
+        _check_deadline(deadline, "cm.chunk")
         level_units = chunks >> (3 * k)
         digit = level_units & 7
         seg_len = _CHUNK << (3 * k)
@@ -324,13 +339,19 @@ def _prefix_count(w: np.ndarray, gi: np.ndarray, wq: np.ndarray) -> np.ndarray:
 
 
 def model_level(
-    lines: np.ndarray, writes: np.ndarray, config: CacheLevelConfig
+    lines: np.ndarray,
+    writes: np.ndarray,
+    config: CacheLevelConfig,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[int, int, np.ndarray, np.ndarray]:
     """One write-through level, vectorized.
 
     Returns ``(cold, capacity_conflict, next_lines, next_writes)`` with the
     identical counters and identically ordered next-level stream as the
-    reference loop in :mod:`repro.cache.static_model`.
+    reference loop in :mod:`repro.cache.static_model`.  The filtering
+    cascade checkpoints ``deadline`` (and the ``cm.chunk`` fault site) at
+    its stage boundaries and inside the chunked counting rounds, mirroring
+    the reference engine's cooperative interruption points.
     """
     lines = np.ascontiguousarray(lines, dtype=np.int64)
     writes = np.ascontiguousarray(writes, dtype=bool)
@@ -371,6 +392,8 @@ def model_level(
 
     # Stage 3: previous occurrence (a line's set never changes, so the
     # previous occurrence always lies in the same block).
+    faults.fire("cm.chunk")
+    _check_deadline(deadline, "cm.chunk")
     prev_idx = _prev_occurrence(kept_lines)
     cold_mask = prev_idx < 0
     cold = int(cold_mask.sum())
@@ -400,6 +423,8 @@ def model_level(
         miss_kept = cold_mask.copy()
         miss_kept[undecided[confirmed]] = True
         if hard.size:
+            faults.fire("cm.chunk")
+            _check_deadline(deadline, "cm.chunk")
             hard_gp = prev_idx[hard]
             hard_p = prev_pos[hard]
             counts = np.zeros(hard.size, dtype=np.int64)
@@ -416,6 +441,7 @@ def model_level(
                     hard_gp[narrow],
                     hard_p[narrow],
                     assoc,
+                    deadline=deadline,
                 )
                 counts[narrow] = narrow_counts
                 if pending.size:
@@ -431,7 +457,8 @@ def model_level(
                     block_start[hard[to_prefix]] + hard_p[to_prefix] + 1
                 )
                 counts[to_prefix] = (
-                    _prefix_count(w, hard[to_prefix], wq) - wq
+                    _prefix_count(w, hard[to_prefix], wq, deadline=deadline)
+                    - wq
                 )
             miss_kept[hard[counts >= assoc]] = True
         cap_conflict = int(miss_kept.sum()) - cold

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
-import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Tuple
+
+import threading
 
 from repro.cache.config import CacheHierarchy
 from repro.cache.static_model import (
@@ -38,9 +40,21 @@ from repro.cache.static_model import (
 from repro.cache.trace import AccessTrace, generate_trace
 from repro.ir.core import Module, Op
 from repro.ir.printer import print_module
+from repro.runtime import (
+    CacheCorruption,
+    Deadline,
+    EngineFailure,
+    TransientIOError,
+    atomic_write_json,
+    quarantine_file,
+    read_checked_json,
+)
+
+log = logging.getLogger("repro.runtime")
 
 #: Bump to invalidate every persisted fingerprint after model changes.
-MEMO_VERSION = 1
+#: v2: disk entries moved to the checksummed ``repro-envelope`` format.
+MEMO_VERSION = 2
 
 _MEMO_ENV = "REPRO_CM_MEMO"
 _MEMO_DIR_ENV = "REPRO_CM_MEMO_DIR"
@@ -166,15 +180,25 @@ def memoized_trace(
     module: Module,
     ops: Optional[Sequence[Op]] = None,
     max_accesses: int = 60_000_000,
+    deadline: Optional[Deadline] = None,
 ) -> AccessTrace:
-    """``generate_trace`` behind the in-process LRU."""
+    """``generate_trace`` behind the in-process LRU.
+
+    A ``deadline`` is only consulted by the generation itself -- an
+    interrupted generation raises before anything is cached, so the memo
+    never stores partial traces.
+    """
     if not memo_enabled():
-        return generate_trace(module, ops, max_accesses=max_accesses)
+        return generate_trace(
+            module, ops, max_accesses=max_accesses, deadline=deadline
+        )
     key = trace_fingerprint(module, ops, max_accesses)
     cached = _trace_lru.get(key)
     if cached is not None:
         return cached
-    trace = generate_trace(module, ops, max_accesses=max_accesses)
+    trace = generate_trace(
+        module, ops, max_accesses=max_accesses, deadline=deadline
+    )
     _trace_lru.put(key, trace)
     return trace
 
@@ -220,6 +244,30 @@ def _resolve_memo_dir(memo_dir) -> Optional[Path]:
     return Path(memo_dir) if memo_dir is not None else None
 
 
+_PAYLOAD_KEYS = ("line_bytes", "total_accesses", "threads", "levels")
+
+
+def _read_disk_entry(path: Path) -> Optional[CacheModelResult]:
+    """One hardened disk-memo read: validated, quarantined on corruption."""
+    try:
+        payload = read_checked_json(
+            path, fault_site="memo.read", required_keys=_PAYLOAD_KEYS
+        )
+        return _cm_from_payload(payload)
+    except FileNotFoundError:
+        return None
+    except CacheCorruption:
+        return None  # already quarantined + logged by the reader
+    except (TransientIOError, EngineFailure) as exc:
+        log.warning("memo read of %s kept failing (%s); recomputing", path, exc)
+        return None
+    except (ValueError, KeyError, TypeError) as exc:
+        # Checksum passed but the payload shape drifted: quarantine too.
+        log.warning("memo entry %s has drifted schema (%s)", path, exc)
+        quarantine_file(path)
+        return None
+
+
 def memoized_cm(
     module: Module,
     ops: Optional[Sequence[Op]],
@@ -229,19 +277,25 @@ def memoized_cm(
     engine: Optional[str] = None,
     max_accesses: int = 60_000_000,
     memo_dir=None,
+    deadline: Optional[Deadline] = None,
 ) -> CacheModelResult:
     """The trace+CM evaluation of one unit, memoized.
 
     Layering: in-process LRU, then the on-disk JSON store (when a
     directory is configured), then the real computation -- whose trace
     goes through :func:`memoized_trace` so an immediately following
-    different-hierarchy request reuses it.
+    different-hierarchy request reuses it.  Disk entries are atomic,
+    checksummed and quarantined-on-corruption (``repro.runtime.io``);
+    a ``deadline`` interrupts the underlying computation at chunk
+    boundaries and nothing partial is ever cached.
     """
     if not memo_enabled():
-        trace = generate_trace(module, ops, max_accesses=max_accesses)
+        trace = generate_trace(
+            module, ops, max_accesses=max_accesses, deadline=deadline
+        )
         return polyufc_cm(
             trace, hierarchy, threads=threads, parallel=parallel,
-            engine=engine,
+            engine=engine, deadline=deadline,
         )
     key = unit_fingerprint(
         module, ops, hierarchy, threads, parallel, engine, max_accesses
@@ -252,23 +306,24 @@ def memoized_cm(
     directory = _resolve_memo_dir(memo_dir)
     path = directory / f"cm_{key}.json" if directory else None
     if path is not None and path.exists():
-        try:
-            cm = _cm_from_payload(json.loads(path.read_text()))
-        except (ValueError, KeyError):
-            cm = None  # corrupt entry: recompute and overwrite
+        cm = _read_disk_entry(path)
         if cm is not None:
             _cm_lru.put(key, cm)
             return cm
-    trace = memoized_trace(module, ops, max_accesses=max_accesses)
+    trace = memoized_trace(
+        module, ops, max_accesses=max_accesses, deadline=deadline
+    )
     cm = polyufc_cm(
-        trace, hierarchy, threads=threads, parallel=parallel, engine=engine
+        trace, hierarchy, threads=threads, parallel=parallel, engine=engine,
+        deadline=deadline,
     )
     _cm_lru.put(key, cm)
     if path is not None:
-        directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(
-            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
-        )
-        tmp.write_text(json.dumps(_cm_to_payload(cm)))
-        tmp.replace(path)  # atomic publish; concurrent writers agree
+        try:
+            atomic_write_json(
+                path, _cm_to_payload(cm), fault_site="memo.write"
+            )
+        except (TransientIOError, EngineFailure) as exc:
+            # Losing a memo entry costs a recompute later, never a crash.
+            log.warning("memo write of %s failed (%s); continuing", path, exc)
     return cm

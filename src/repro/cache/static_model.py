@@ -38,6 +38,7 @@ import numpy as np
 from repro.cache.config import CacheHierarchy, CacheLevelConfig
 from repro.cache.fast_model import model_level as _fast_model_level
 from repro.cache.trace import AccessTrace
+from repro.runtime import Deadline, check as _check_deadline, faults
 
 #: Selectable CM evaluation engines.  ``fast`` is the vectorized NumPy
 #: stack-distance kernel (:mod:`repro.cache.fast_model`); ``reference``
@@ -119,18 +120,29 @@ class CacheModelResult:
         return tuple(level.hit_ratio for level in self.levels)
 
 
+#: Accesses between cooperative checkpoints in the reference engine.
+_REFERENCE_CHECK_EVERY = 4096
+
+
 def _model_level(
-    lines: List[int], writes: List[bool], config: CacheLevelConfig
+    lines: List[int],
+    writes: List[bool],
+    config: CacheLevelConfig,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[int, int, List[int], List[bool]]:
     """One write-through level: returns (cold, capacity_conflict, next stream).
 
     Per-set LRU stacks give the backward reuse distance implicitly: a line
     found in its set's stack within the top ``k`` entries is a hit; found
     deeper (or absent after its set filled) is a capacity/conflict miss;
-    never seen before is a cold miss.
+    never seen before is a cold miss.  The walk checkpoints the cooperative
+    deadline (and the ``cm.chunk`` fault site) every
+    :data:`_REFERENCE_CHECK_EVERY` accesses so a pathological stream can be
+    interrupted mid-level.
     """
     num_sets = config.num_sets
     assoc = config.associativity
+    until_check = _REFERENCE_CHECK_EVERY
     # A reuse distance >= k means "not within the k most-recent distinct
     # lines of this set", so a stack capped at k entries plus a seen-set is
     # equivalent to the unbounded reuse-distance formulation for
@@ -142,6 +154,11 @@ def _model_level(
     next_lines: List[int] = []
     next_writes: List[bool] = []
     for line, is_write in zip(lines, writes):
+        until_check -= 1
+        if until_check <= 0:
+            until_check = _REFERENCE_CHECK_EVERY
+            faults.fire("cm.chunk")
+            _check_deadline(deadline, "cm.chunk")
         set_index = line % num_sets
         stack = stacks[set_index]
         missed = False
@@ -175,6 +192,7 @@ def polyufc_cm(
     threads: int = 1,
     parallel: bool = False,
     engine: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
 ) -> CacheModelResult:
     """Run PolyUFC-CM over a kernel's scheduled access relation.
 
@@ -182,10 +200,15 @@ def polyufc_cm(
     miss counts of loop-parallel kernels are divided by the thread count.
     ``engine`` selects the level evaluator (:data:`CM_ENGINES`); the
     default honours ``$REPRO_CM_ENGINE`` and falls back to ``fast``.
+    ``deadline`` is checkpointed at every level boundary and inside both
+    engines' chunk loops, so an armed ``cm_timeout_s`` interrupts the
+    evaluation mid-unit instead of after the fact.
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
     engine = resolve_engine(engine)
+    faults.fire("cm.engine")
+    _check_deadline(deadline, "cm.engine")
     line_ids = trace.line_ids(hierarchy.line_bytes)
     if engine == "fast":
         level_fn = _fast_model_level
@@ -198,8 +221,12 @@ def polyufc_cm(
     divider = threads if (parallel and threads > 1) else 1
     stats: List[LevelModelStats] = []
     for index, config in enumerate(hierarchy.levels):
+        faults.fire("cm.chunk")
+        _check_deadline(deadline, f"cm.level:{config.name}")
         accesses = len(lines)
-        cold, cap_conflict, lines, writes = level_fn(lines, writes, config)
+        cold, cap_conflict, lines, writes = level_fn(
+            lines, writes, config, deadline=deadline
+        )
         # The paper's heuristic divides miss counts by the thread count to
         # model working-set sharing.  Two refinements keep the counts
         # physical: (1) cold misses are never divided (threads share the

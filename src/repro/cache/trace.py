@@ -20,10 +20,19 @@ from repro.ir.dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
 from repro.ir.dialects.linalg import LinalgOp
 from repro.ir.dialects.polyufc import SetUncoreCapOp
 from repro.isllite import LinExpr
+from repro.runtime import Deadline, faults
 
 
 class TraceBudgetExceeded(IRError):
     """The module generates more accesses than the configured cap."""
+
+
+class _TraceTruncated(Exception):
+    """Internal: stop tracing and keep the prefix (truncate mode)."""
+
+
+#: Accesses between cooperative deadline checkpoints while tracing.
+_TRACE_CHECK_EVERY = 4096
 
 
 @dataclass
@@ -81,18 +90,45 @@ def generate_trace(
     module: Module,
     ops: Optional[Sequence[Op]] = None,
     max_accesses: int = 60_000_000,
+    truncate: bool = False,
+    deadline: Optional[Deadline] = None,
 ) -> AccessTrace:
-    """Trace the given top-level ops (default: the whole module)."""
-    generator = _TraceGenerator(module, max_accesses)
-    for op in ops if ops is not None else module.ops:
-        generator.visit_top(op)
+    """Trace the given top-level ops (default: the whole module).
+
+    With ``truncate=True`` an exhausted access budget (or an expired
+    ``deadline``) stops tracing and returns the prefix generated so far
+    instead of raising -- the sampling mode the degradation ladder's
+    approximate rung runs on.  Without it, budget exhaustion raises
+    :class:`TraceBudgetExceeded` and deadline expiry raises
+    :class:`repro.runtime.DeadlineExceeded`, both at chunk granularity.
+    """
+    faults.fire("cm.trace")
+    if deadline is not None and not truncate:
+        deadline.check("cm.trace")
+    generator = _TraceGenerator(
+        module, max_accesses, truncate=truncate, deadline=deadline
+    )
+    try:
+        for op in ops if ops is not None else module.ops:
+            generator.visit_top(op)
+    except _TraceTruncated:
+        pass
     return generator.finish()
 
 
 class _TraceGenerator:
-    def __init__(self, module: Module, max_accesses: int):
+    def __init__(
+        self,
+        module: Module,
+        max_accesses: int,
+        truncate: bool = False,
+        deadline: Optional[Deadline] = None,
+    ):
         self.module = module
         self.max_accesses = max_accesses
+        self.truncate = truncate
+        self.deadline = deadline
+        self._until_check = _TRACE_CHECK_EVERY
         self.buffers: List[Buffer] = []
         self.buffer_index: Dict[str, int] = {}
         self.chunks_ids: List[np.ndarray] = []
@@ -117,7 +153,16 @@ class _TraceGenerator:
 
     def _charge(self, count: int) -> None:
         self.count += count
+        self._until_check -= count
+        if self._until_check <= 0:
+            self._until_check = _TRACE_CHECK_EVERY
+            if self.deadline is not None and self.deadline.expired():
+                if self.truncate:
+                    raise _TraceTruncated()
+                self.deadline.check("cm.trace")
         if self.count > self.max_accesses:
+            if self.truncate:
+                raise _TraceTruncated()
             raise TraceBudgetExceeded(
                 f"trace exceeds {self.max_accesses} accesses; "
                 "shrink the problem size or raise max_accesses"
@@ -199,7 +244,16 @@ class _TraceGenerator:
         ]
         if not accesses:
             return
-        self._charge(total * len(accesses))
+        emit_total = total
+        if self.truncate:
+            # Partial emission: clamp this chunk to the remaining budget so
+            # the prefix trace still covers vectorized (rect-traced)
+            # kernels instead of dropping the whole chunk.
+            budget_left = self.max_accesses - self.count
+            emit_total = min(total, max(0, budget_left // len(accesses)))
+            if emit_total == 0:
+                raise _TraceTruncated()
+        self._charge(emit_total * len(accesses))
 
         # iv value of chain dim d at flat iteration n:
         #   lows[d] + steps[d] * ((n // inner_d) % extents[d])
@@ -212,20 +266,28 @@ class _TraceGenerator:
         def iv_values(d: int) -> np.ndarray:
             cached = iv_cache.get(d)
             if cached is None:
-                pattern = (
-                    lows[d]
-                    + steps[d] * np.arange(extents[d], dtype=np.int64)
-                )
-                cached = np.tile(
-                    np.repeat(pattern, inner_sizes[d]),
-                    total // (extents[d] * inner_sizes[d]),
-                )
+                if emit_total == total:
+                    pattern = (
+                        lows[d]
+                        + steps[d] * np.arange(extents[d], dtype=np.int64)
+                    )
+                    cached = np.tile(
+                        np.repeat(pattern, inner_sizes[d]),
+                        total // (extents[d] * inner_sizes[d]),
+                    )
+                else:
+                    # Truncated chunk: evaluate the flat-index formula
+                    # directly for the emitted prefix.
+                    flat = np.arange(emit_total, dtype=np.int64)
+                    cached = lows[d] + steps[d] * (
+                        (flat // inner_sizes[d]) % extents[d]
+                    )
                 iv_cache[d] = cached
             return cached
 
-        ids = np.empty((total, len(accesses)), dtype=np.int32)
-        offsets = np.empty((total, len(accesses)), dtype=np.int64)
-        writes = np.empty((total, len(accesses)), dtype=bool)
+        ids = np.empty((emit_total, len(accesses)), dtype=np.int32)
+        offsets = np.empty((emit_total, len(accesses)), dtype=np.int64)
+        writes = np.empty((emit_total, len(accesses)), dtype=bool)
         for column, op in enumerate(accesses):
             buffer = op.buffer
             ids[:, column] = self._buffer_id(buffer)
@@ -246,7 +308,7 @@ class _TraceGenerator:
                         f"subscript {expr!r} uses unbound names "
                         f"{sorted(leftover)}"
                     )
-            column_offsets = np.full(total, base, dtype=np.int64)
+            column_offsets = np.full(emit_total, base, dtype=np.int64)
             for d, coeff in enumerate(coeffs):
                 if coeff:
                     column_offsets += coeff * iv_values(d)
@@ -255,6 +317,8 @@ class _TraceGenerator:
         self.chunks_ids.append(ids.reshape(-1))
         self.chunks_offsets.append(offsets.reshape(-1))
         self.chunks_write.append(writes.reshape(-1))
+        if emit_total < total:
+            raise _TraceTruncated()
 
     def _emit_scalar(self, op, env: Dict[str, int]) -> None:
         self._charge(1)

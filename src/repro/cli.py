@@ -36,6 +36,12 @@ def _add_cm_knobs(parser: argparse.ArgumentParser) -> None:
         "--cm-engine", default=None, choices=["fast", "reference"],
         help="PolyUFC-CM evaluator (default: $REPRO_CM_ENGINE or fast)",
     )
+    parser.add_argument(
+        "--cm-timeout", type=float, default=None, metavar="SECONDS",
+        help="PolyUFC-CM deadline; units exceeding it degrade per the "
+        "ladder and fall back to the f_max cap "
+        "(default: $REPRO_CM_TIMEOUT_S or unlimited)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,21 +150,23 @@ def _cmd_characterize(
     granularity: str,
     workers: Optional[int] = None,
     cm_engine: Optional[str] = None,
+    cm_timeout: Optional[float] = None,
 ) -> int:
     from repro.experiments import kernel_report
 
     report = kernel_report(
         kernel, platform_name, granularity=granularity,
-        workers=workers, cm_engine=cm_engine,
+        workers=workers, cm_engine=cm_engine, cm_timeout_s=cm_timeout,
     )
     print(
         f"{kernel} on {report.platform} ({granularity} granularity): "
         f"OI {report.oi_model:.2f} FpB, {report.boundedness}"
     )
     for unit in report.units:
+        marker = "" if unit.degraded == "exact" else f"  [{unit.degraded}]"
         print(
             f"  {unit.name:<28} OI {unit.oi_fpb:8.2f}  {unit.boundedness}  "
-            f"cap {unit.cap_ghz:.1f} GHz"
+            f"cap {unit.cap_ghz:.1f} GHz{marker}"
         )
     return 0
 
@@ -169,18 +177,30 @@ def _cmd_compile(
     objective: str,
     workers: Optional[int] = None,
     cm_engine: Optional[str] = None,
+    cm_timeout: Optional[float] = None,
 ) -> int:
+    import sys as _sys
+
     from repro.benchsuite import get_benchmark
     from repro.hw import get_platform
     from repro.ir import print_module
     from repro.pipeline import polyufc_compile
+    from repro.runtime import resolve_timeout
 
     platform = get_platform(platform_name)
     result = polyufc_compile(
         get_benchmark(kernel).module(), platform, objective=objective,
         workers=workers, cm_engine=cm_engine,
+        cm_timeout_s=resolve_timeout(cm_timeout),
     )
     print(print_module(result.capped_module))
+    for unit in result.units:
+        if unit.degraded != "exact":
+            print(
+                f"// {unit.name}: degraded to {unit.degraded}"
+                + (f" ({unit.warning})" if unit.warning else ""),
+                file=_sys.stderr,
+            )
     return 0
 
 
@@ -241,12 +261,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "characterize":
         return _cmd_characterize(
             args.kernel, args.platform, args.granularity,
-            args.workers, args.cm_engine,
+            args.workers, args.cm_engine, args.cm_timeout,
         )
     if args.command == "compile":
         return _cmd_compile(
             args.kernel, args.platform, args.objective,
-            args.workers, args.cm_engine,
+            args.workers, args.cm_engine, args.cm_timeout,
         )
     if args.command == "compare":
         return _cmd_compare(args.kernel, args.platform)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -31,9 +32,23 @@ from repro.hw.governor import (
     run_governed_sequence,
 )
 from repro.hw.platform import PlatformSpec, get_platform
+from repro.mlpolyufc.characterization import DEGRADABLE_ERRORS
 from repro.pipeline import polyufc_compile
+from repro.runtime import (
+    CacheCorruption,
+    EngineFailure,
+    TransientIOError,
+    atomic_write_json,
+    read_checked_json,
+    resolve_timeout,
+)
 
-CACHE_VERSION = 8  # bump to invalidate caches after model/platform changes
+log = logging.getLogger("repro.runtime")
+
+# Bump to invalidate caches after model/platform changes.
+# v9: entries moved to the checksummed ``repro-envelope`` format and
+# units gained ``degraded``/``warning`` resilience metadata.
+CACHE_VERSION = 9
 
 
 def cache_dir() -> Path:
@@ -66,6 +81,8 @@ class UnitReport:
     model_dram_lines: int
     cores_fraction: float
     search_iterations: int
+    degraded: str = "exact"
+    warning: Optional[str] = None
 
     def workload(self, threads: int) -> KernelWorkload:
         """The hardware workload for the execution model."""
@@ -113,6 +130,15 @@ class KernelReport:
         return self.total_flops / q if q else float("inf")
 
     @property
+    def degraded_units(self) -> List[str]:
+        """Names of units that did not characterize exactly."""
+        return [unit.name for unit in self.units if unit.degraded != "exact"]
+
+    @property
+    def fully_exact(self) -> bool:
+        return not self.degraded_units
+
+    @property
     def boundedness(self) -> str:
         """Whole-kernel label: aggregate OI against the fitted balance."""
         if self.balance_fpb > 0:
@@ -140,32 +166,35 @@ def _report_key(
     return hashlib.sha256(blob.encode()).hexdigest()[:20]
 
 
-def kernel_report(
-    benchmark: str,
-    platform: str,
-    granularity: str = "linalg",
-    objective: str = "edp",
-    set_associative: bool = True,
-    tile_size: int = 32,
-    epsilon: float = 1e-3,
-    cap_overhead_factor: float = 50.0,
-    use_cache: bool = True,
-    workers: Optional[int] = None,
-    cm_engine: Optional[str] = None,
-) -> KernelReport:
-    """Compile one benchmark for one platform; heavy results are cached.
+_REPORT_KEYS = (
+    "benchmark", "platform", "granularity", "objective",
+    "set_associative", "timings_ms", "units",
+)
 
-    ``workers``/``cm_engine`` tune *how* the cache model runs (thread
-    pool width, fast vs reference engine); they never change the numbers,
-    so they are deliberately not part of the disk-cache key.
+
+def _load_cached_report(path: Path) -> Optional[KernelReport]:
+    """One hardened report-cache read.
+
+    Corrupted, truncated or schema-drifted entries are quarantined by the
+    envelope reader (or here, when the envelope validates but the unit
+    shape drifted) and ``None`` is returned so the caller recomputes.
     """
-    key = _report_key(
-        benchmark, platform, granularity, objective, set_associative,
-        tile_size, epsilon, cap_overhead_factor,
-    )
-    path = cache_dir() / f"report_{benchmark}_{platform}_{key}.json"
-    if use_cache and _cache_enabled() and path.exists():
-        data = json.loads(path.read_text())
+    from repro.runtime import quarantine_file
+
+    try:
+        data = read_checked_json(
+            path, fault_site="report.read", required_keys=_REPORT_KEYS
+        )
+    except FileNotFoundError:
+        return None
+    except CacheCorruption:
+        return None  # already quarantined + logged
+    except (TransientIOError, EngineFailure) as exc:
+        log.warning(
+            "report read of %s kept failing (%s); recomputing", path, exc
+        )
+        return None
+    try:
         report = KernelReport(
             benchmark=data["benchmark"],
             platform=data["platform"],
@@ -179,7 +208,46 @@ def kernel_report(
             unit["level_accesses_hw"] = tuple(unit["level_accesses_hw"])
             unit["model_level_bytes"] = tuple(unit["model_level_bytes"])
             report.units.append(UnitReport(**unit))
-        return report
+    except (KeyError, TypeError, ValueError) as exc:
+        log.warning("report entry %s has drifted schema (%s)", path, exc)
+        quarantine_file(path)
+        return None
+    return report
+
+
+def kernel_report(
+    benchmark: str,
+    platform: str,
+    granularity: str = "linalg",
+    objective: str = "edp",
+    set_associative: bool = True,
+    tile_size: int = 32,
+    epsilon: float = 1e-3,
+    cap_overhead_factor: float = 50.0,
+    use_cache: bool = True,
+    workers: Optional[int] = None,
+    cm_engine: Optional[str] = None,
+    cm_timeout_s: Optional[float] = None,
+) -> KernelReport:
+    """Compile one benchmark for one platform; heavy results are cached.
+
+    ``workers``/``cm_engine`` tune *how* the cache model runs (thread
+    pool width, fast vs reference engine); they never change the numbers,
+    so they are deliberately not part of the disk-cache key.
+    ``cm_timeout_s`` (default ``$REPRO_CM_TIMEOUT_S``) bounds the
+    PolyUFC-CM stage; reports containing degraded units are returned but
+    never persisted, so a transient timeout cannot poison the cache.
+    """
+    cm_timeout_s = resolve_timeout(cm_timeout_s)
+    key = _report_key(
+        benchmark, platform, granularity, objective, set_associative,
+        tile_size, epsilon, cap_overhead_factor,
+    )
+    path = cache_dir() / f"report_{benchmark}_{platform}_{key}.json"
+    if use_cache and _cache_enabled() and path.exists():
+        cached = _load_cached_report(path)
+        if cached is not None:
+            return cached
 
     spec = get_benchmark(benchmark)
     plat = get_platform(platform)
@@ -194,6 +262,7 @@ def kernel_report(
         cap_overhead_factor=cap_overhead_factor,
         workers=workers,
         cm_engine=cm_engine,
+        cm_timeout_s=cm_timeout_s,
     )
     report = KernelReport(
         benchmark=benchmark,
@@ -210,8 +279,34 @@ def kernel_report(
         },
     )
     for unit, decision in zip(result.units, result.decisions):
-        trace = generate_trace(result.tiled_module, unit.ops)
-        sim = simulate_hierarchy(trace, plat.hierarchy)
+        degraded, warning = unit.degraded, unit.warning
+        sim = None
+        if degraded != "timeout-cap":
+            # The hardware-side workload needs the exact trace; guard it
+            # with the same per-unit isolation the CM side has -- a unit
+            # that cannot be simulated gets zero hardware counters, not a
+            # crashed report.
+            try:
+                trace = generate_trace(result.tiled_module, unit.ops)
+                sim = simulate_hierarchy(trace, plat.hierarchy)
+            except DEGRADABLE_ERRORS as exc:
+                log.warning(
+                    "hardware-side simulation of %s failed (%s); "
+                    "zero hardware counters", unit.name, exc,
+                )
+                warning = (warning + "; " if warning else "") + (
+                    f"hardware simulation failed: {exc}"
+                )
+        if sim is not None:
+            level_accesses_hw = tuple(
+                level.accesses for level in sim.levels
+            )
+            dram_fetch = sim.dram_fetch_bytes
+            dram_writeback = sim.dram_writeback_bytes
+            dram_lines = sim.llc.misses + sim.llc.writebacks
+        else:
+            level_accesses_hw = tuple(0 for _ in plat.hierarchy.levels)
+            dram_fetch = dram_writeback = dram_lines = 0
         report.units.append(
             UnitReport(
                 name=unit.name,
@@ -221,21 +316,27 @@ def kernel_report(
                 cap_ghz=decision.f_cap_ghz,
                 parallel=unit.parallel,
                 q_dram_model=unit.cm.q_dram_bytes,
-                level_accesses_hw=tuple(
-                    level.accesses for level in sim.levels
-                ),
-                dram_fetch_bytes_hw=sim.dram_fetch_bytes,
-                dram_writeback_bytes_hw=sim.dram_writeback_bytes,
-                dram_lines_hw=sim.llc.misses + sim.llc.writebacks,
+                level_accesses_hw=level_accesses_hw,
+                dram_fetch_bytes_hw=dram_fetch,
+                dram_writeback_bytes_hw=dram_writeback,
+                dram_lines_hw=dram_lines,
                 model_level_bytes=tuple(unit.summary.level_bytes),
                 model_dram_lines=unit.summary.dram_lines,
                 cores_fraction=unit.summary.cores_fraction,
                 search_iterations=decision.search.iterations,
+                degraded=degraded,
+                warning=warning,
             )
         )
-    if _cache_enabled():
-        payload = asdict(report)
-        path.write_text(json.dumps(payload))
+    if _cache_enabled() and report.fully_exact:
+        # Degraded reports are never persisted: a transient timeout or
+        # injected fault must not poison the cache for later exact runs.
+        try:
+            atomic_write_json(path, asdict(report), fault_site="report.write")
+        except (TransientIOError, EngineFailure) as exc:
+            log.warning(
+                "report write of %s failed (%s); continuing", path, exc
+            )
     return report
 
 

@@ -26,16 +26,27 @@ from repro.isllite.constraint import Constraint
 from repro.isllite.errors import CountBudgetExceeded, IslError
 from repro.isllite.sets import BasicSet, Set
 from repro.isllite.space import Space
+from repro.runtime import Deadline, faults
+
+#: Scan ranges between cooperative deadline checkpoints.
+_SCAN_CHECK_EVERY = 1024
 
 
 @dataclass(frozen=True)
 class CountOptions:
-    """Knobs for the counting engine."""
+    """Knobs for the counting engine.
+
+    ``deadline`` makes exact scans cooperative: an expired deadline mid-
+    scan degrades to the Monte-Carlo estimate (when ``allow_estimate``)
+    instead of finishing the enumeration, or raises
+    :class:`repro.runtime.DeadlineExceeded` otherwise.
+    """
 
     budget: int = 2_000_000
     mc_samples: int = 50_000
     seed: int = 0
     allow_estimate: bool = True
+    deadline: Optional[Deadline] = None
 
 
 @dataclass(frozen=True)
@@ -234,9 +245,22 @@ def _count_basic(
             )
         return _monte_carlo(bset, env, options)
 
+    faults.fire("cm.count")
+    deadline = options.deadline
+    until_check = _SCAN_CHECK_EVERY
     total = 0
     for _prefix, lo, hi in bset.iter_ranges(env):
         total += hi - lo + 1
+        if deadline is not None:
+            until_check -= 1
+            if until_check <= 0:
+                until_check = _SCAN_CHECK_EVERY
+                if deadline.expired():
+                    # Degrade mid-scan: the Monte-Carlo estimate is cheap
+                    # and bounded, the exact scan is not.
+                    if options.allow_estimate:
+                        return _monte_carlo(bset, env, options)
+                    deadline.check("cm.count")
     return CountResult(total)
 
 

@@ -16,27 +16,70 @@ Sec. V parametric model.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.config import CacheHierarchy
 from repro.cache.memo import memoized_cm
-from repro.cache.static_model import CacheModelResult
+from repro.cache.static_model import (
+    CacheModelResult,
+    LevelModelStats,
+    polyufc_cm,
+)
+from repro.cache.trace import generate_trace
 from repro.ir.core import IRError, Module, Op
 from repro.ir.dialects.affine import AffineForOp
+from repro.isllite import CountOptions, count_points
+from repro.isllite.errors import IslError
 from repro.model.parametric import KernelSummary, PolyUFCModel, summary_from_cm
 from repro.poly.scop import extract_scop
 from repro.roofline.characterize import Boundedness
 from repro.roofline.constants import RooflineConstants
+from repro.runtime import Deadline, DeadlineExceeded, ReproError
 from repro.hw.platform import PlatformSpec
 
+log = logging.getLogger("repro.runtime")
+
 GRANULARITIES = ("affine", "linalg", "torch")
+
+#: The degradation ladder, in order of decreasing fidelity (see
+#: ``docs/ROBUSTNESS.md``): full trace + CM, scaled truncated-trace
+#: estimate, and the paper's Sec. VII-F safety fallback (cap at f_max).
+DEGRADATION_RUNGS = ("exact", "approx", "timeout-cap")
+
+#: Trace-prefix budget of the approximate rung.
+APPROX_TRACE_ACCESSES = 100_000
+
+#: Counting knobs of the approximate rung (small budget forces the cheap
+#: Monte-Carlo estimate on anything non-trivial).
+APPROX_COUNT_BUDGET = 50_000
+APPROX_MC_SAMPLES = 4_000
+
+#: Failures the ladder degrades around (anything else is a bug and
+#: propagates).  ``IRError`` covers trace-budget and lowering problems,
+#: ``IslError`` covers counting, ``ReproError`` covers deadlines, engine
+#: faults and cache corruption, ``MemoryError``/``ArithmeticError`` cover
+#: resource blowups inside the NumPy kernels.
+DEGRADABLE_ERRORS = (
+    ReproError,
+    IRError,
+    IslError,
+    MemoryError,
+    ArithmeticError,
+)
 
 
 @dataclass
 class UnitCharacterization:
-    """One capping unit: ops, counters, model, boundedness."""
+    """One capping unit: ops, counters, model, boundedness.
+
+    ``degraded`` records which rung of the degradation ladder produced the
+    counters (:data:`DEGRADATION_RUNGS`); ``warning`` carries the
+    structured reason when it is not ``"exact"``.
+    """
 
     name: str
     ops: List[Op]
@@ -45,6 +88,8 @@ class UnitCharacterization:
     summary: KernelSummary
     model: PolyUFCModel
     parallel: bool
+    degraded: str = "exact"
+    warning: Optional[str] = None
 
     @property
     def oi_fpb(self) -> float:
@@ -118,6 +163,107 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return max(1, workers)
 
 
+def fallback_cm(hierarchy: CacheHierarchy, threads: int) -> CacheModelResult:
+    """The rung-3 stand-in: a zero-traffic CM result.
+
+    With no billable traffic the unit characterizes compute-bound and the
+    pipeline pins its cap at ``f_max`` -- the paper's Sec. VII-F safety
+    rule, applied per unit.
+    """
+    levels = tuple(
+        LevelModelStats(
+            config.name, accesses=0, cold_misses=0,
+            capacity_conflict_misses=0,
+        )
+        for config in hierarchy.levels
+    )
+    return CacheModelResult(levels, hierarchy.line_bytes, 0, threads)
+
+
+def _scaled_cm(cm: CacheModelResult, scale: float) -> CacheModelResult:
+    """Scale every counter of a prefix-trace CM up to the full kernel."""
+    if scale <= 1.0:
+        return cm
+    levels = tuple(
+        LevelModelStats(
+            level.name,
+            accesses=int(round(level.accesses * scale)),
+            cold_misses=int(round(level.cold_misses * scale)),
+            capacity_conflict_misses=int(
+                round(level.capacity_conflict_misses * scale)
+            ),
+        )
+        for level in cm.levels
+    )
+    return CacheModelResult(
+        levels, cm.line_bytes, int(round(cm.total_accesses * scale)),
+        cm.threads,
+    )
+
+
+def _estimated_unit_accesses(
+    statements, params, ops: Sequence[Op],
+    deadline: Optional[Deadline],
+) -> int:
+    """Approximate total accesses of a unit via (Monte-Carlo) counting."""
+    roots = {id(op) for op in ops}
+    total = 0
+    options = CountOptions(
+        budget=APPROX_COUNT_BUDGET,
+        mc_samples=APPROX_MC_SAMPLES,
+        deadline=deadline,
+    )
+    for statement in statements:
+        if not statement.loops or id(statement.loops[0]) not in roots:
+            continue
+        if not statement.accesses:
+            continue
+        try:
+            points = int(count_points(statement.domain, params, options))
+        except (IslError, ReproError):
+            return 0  # no scaling rather than a wrong scale
+        total += len(statement.accesses) * points
+    return total
+
+
+def approximate_cm(
+    module: Module,
+    ops: Sequence[Op],
+    hierarchy: CacheHierarchy,
+    threads: int,
+    parallel: bool,
+    engine: Optional[str],
+    statements,
+    params,
+    max_accesses: int,
+    deadline: Optional[Deadline] = None,
+) -> CacheModelResult:
+    """The ladder's middle rung: CM over a truncated trace prefix, scaled.
+
+    The prefix is generated with ``truncate=True`` (bounded work, partial
+    chunk emission) and evaluated normally; the counters are then scaled
+    by the unit's estimated total access count, obtained by counting the
+    statement domains with a small budget so anything non-trivial takes
+    the seeded Monte-Carlo estimate.
+    """
+    budget = min(max_accesses, APPROX_TRACE_ACCESSES)
+    trace = generate_trace(
+        module, ops, max_accesses=budget, truncate=True, deadline=deadline
+    )
+    if not len(trace):
+        raise DeadlineExceeded(
+            "approximate rung traced no accesses", site="cm.trace"
+        )
+    cm = polyufc_cm(
+        trace, hierarchy, threads=threads, parallel=parallel, engine=engine,
+        deadline=deadline,
+    )
+    estimated = _estimated_unit_accesses(statements, params, ops, deadline)
+    if estimated > len(trace):
+        cm = _scaled_cm(cm, estimated / len(trace))
+    return cm
+
+
 def characterize_units(
     module: Module,
     platform: PlatformSpec,
@@ -128,6 +274,7 @@ def characterize_units(
     max_trace_accesses: int = 60_000_000,
     workers: Optional[int] = None,
     engine: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
 ) -> List[UnitCharacterization]:
     """Characterize every capping unit of an affine module.
 
@@ -135,6 +282,12 @@ def characterize_units(
     (the heavy NumPy kernels release the GIL); results keep the module's
     unit order regardless of completion order.  ``engine`` selects the CM
     evaluator (see :data:`repro.cache.static_model.CM_ENGINES`).
+
+    Faults are isolated **per unit** through the degradation ladder
+    (:data:`DEGRADATION_RUNGS`): an expired ``deadline`` or a failing
+    engine yields a unit with ``degraded="approx"`` or
+    ``degraded="timeout-cap"`` (safe ``f_max`` cap) plus a structured
+    ``warning``, never a crashed pipeline.
     """
     threads = platform.threads if threads is None else threads
     workers = resolve_workers(workers)
@@ -143,33 +296,90 @@ def characterize_units(
         if set_associative
         else platform.hierarchy.fully_associative()
     )
-    scop = extract_scop(module)
+    statements: List = []
+    params: Dict[str, int] = {}
     flops_by_root: Dict[int, int] = {}
-    for statement in scop.statements:
-        root = statement.loops[0]
-        flops_by_root[id(root)] = flops_by_root.get(id(root), 0) + (
-            statement.total_flops(scop.params)
+    try:
+        scop = extract_scop(module)
+        statements = scop.statements
+        params = scop.params
+        for statement in statements:
+            root = statement.loops[0]
+            flops_by_root[id(root)] = flops_by_root.get(id(root), 0) + (
+                statement.total_flops(params)
+            )
+    except DEGRADABLE_ERRORS as exc:
+        log.warning(
+            "SCoP extraction of %s failed (%s); units lose flop counts "
+            "and approximate scaling", module.name, exc,
         )
+
     units = group_affine_units(module, granularity)
+
+    def cm_with_ladder(name, ops, parallel):
+        """(cm, rung, warning) for one unit, walking the ladder down."""
+        try:
+            if deadline is not None:
+                deadline.check(f"unit:{name}")
+            cm = memoized_cm(
+                module,
+                ops,
+                hierarchy,
+                threads=threads,
+                parallel=parallel,
+                engine=engine,
+                max_accesses=max_trace_accesses,
+                deadline=deadline,
+            )
+            return cm, "exact", None
+        except DEGRADABLE_ERRORS as exc:
+            failure = exc
+        if deadline is None or not deadline.expired():
+            try:
+                cm = approximate_cm(
+                    module, ops, hierarchy, threads, parallel, engine,
+                    statements, params, max_trace_accesses,
+                    deadline=deadline,
+                )
+                warning = (
+                    f"exact CM failed ({failure}); "
+                    "scaled truncated-trace estimate"
+                )
+                log.warning("unit %s degraded to approx: %s", name, failure)
+                return cm, "approx", warning
+            except DEGRADABLE_ERRORS as exc:
+                failure = exc
+        log.warning(
+            "unit %s degraded to timeout-cap (f_max): %s", name, failure
+        )
+        return fallback_cm(hierarchy, threads), "timeout-cap", str(failure)
 
     def characterize_one(unit: Tuple[str, List[Op]]) -> UnitCharacterization:
         name, ops = unit
         omega = sum(flops_by_root.get(id(op), 0) for op in ops)
         parallel = _is_parallel_unit(ops)
-        cm = memoized_cm(
-            module,
-            ops,
-            hierarchy,
-            threads=threads,
-            parallel=parallel,
-            engine=engine,
-            max_accesses=max_trace_accesses,
-        )
+        cm, degraded, warning = cm_with_ladder(name, ops, parallel)
         cores_used = min(threads, platform.cores) if parallel else 1
-        summary = summary_from_cm(
-            name, omega, cm, cores_fraction=cores_used / platform.cores
-        )
-        model = PolyUFCModel(constants, summary)
+        cores_fraction = cores_used / platform.cores
+        try:
+            summary = summary_from_cm(
+                name, omega, cm, cores_fraction=cores_fraction
+            )
+            model = PolyUFCModel(constants, summary)
+        except Exception as exc:
+            # Last line of per-unit isolation: degenerate counters must
+            # not take the kernel down either.
+            log.warning(
+                "unit %s model construction failed (%s); using the "
+                "f_max fallback", name, exc,
+            )
+            cm = fallback_cm(hierarchy, threads)
+            summary = summary_from_cm(
+                name, omega, cm, cores_fraction=cores_fraction
+            )
+            model = PolyUFCModel(constants, summary)
+            degraded = "timeout-cap"
+            warning = f"model construction failed: {exc}"
         return UnitCharacterization(
             name=name,
             ops=list(ops),
@@ -178,6 +388,8 @@ def characterize_units(
             summary=summary,
             model=model,
             parallel=parallel,
+            degraded=degraded,
+            warning=warning,
         )
 
     if workers > 1 and len(units) > 1:

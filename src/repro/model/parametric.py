@@ -141,10 +141,16 @@ class PolyUFCModel:
     # -- performance / bandwidth (Eqns 5, 6) ----------------------------------
 
     def perf_flops(self, f_ghz: float) -> float:
-        return self.kernel.omega / self.time_s(f_ghz)
+        time_total = self.time_s(f_ghz)
+        if time_total <= 0.0:
+            return 0.0  # degenerate zero-work unit (degraded fallback)
+        return self.kernel.omega / time_total
 
     def bandwidth_bps(self, f_ghz: float) -> float:
-        return self.kernel.q_dram_bytes / self.time_s(f_ghz)
+        time_total = self.time_s(f_ghz)
+        if time_total <= 0.0:
+            return 0.0
+        return self.kernel.q_dram_bytes / time_total
 
     # -- power (Eqn 10) --------------------------------------------------------
 
@@ -227,8 +233,8 @@ class PolyUFCModel:
             f_ghz=f_ghz,
             time_s=time_total,
             memory_time_s=self.memory_time_s(f_ghz),
-            perf_flops=self.kernel.omega / time_total,
-            bandwidth_bps=self.kernel.q_dram_bytes / time_total,
+            perf_flops=self.perf_flops(f_ghz),
+            bandwidth_bps=self.bandwidth_bps(f_ghz),
             power_w=self.power_w(f_ghz),
             energy_j=self.energy_j(f_ghz),
         )

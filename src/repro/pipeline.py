@@ -41,6 +41,7 @@ from repro.mlpolyufc.rewrite import remove_redundant_caps
 from repro.poly.transforms import TileInfo, tile_and_parallelize
 from repro.roofline.constants import RooflineConstants
 from repro.roofline.microbench import calibrate_platform
+from repro.runtime import Deadline
 from repro.search.polyufc_search import SearchConfig
 
 
@@ -99,6 +100,14 @@ class PolyUFCResult:
     def boundedness_sequence(self) -> List[str]:
         return [str(unit.boundedness) for unit in self.units]
 
+    def degradation(self) -> List[str]:
+        """Per-unit degradation rung (``exact``/``approx``/``timeout-cap``)."""
+        return [unit.degraded for unit in self.units]
+
+    @property
+    def fully_exact(self) -> bool:
+        return all(unit.degraded == "exact" for unit in self.units)
+
 
 def _lower_to_affine(module: Module) -> Module:
     has_torch = any(isinstance(op, TorchOp) for op in module.ops)
@@ -153,7 +162,10 @@ def polyufc_compile(
     timings.pluto_ms = (time.perf_counter() - started) * 1e3
 
     started = time.perf_counter()
-    timed_out = False
+    # The deadline is shared by every unit (and checked inside the CM
+    # engines at chunk boundaries), so ``cm_timeout_s`` bounds the whole
+    # PolyUFC-CM stage even when a single unit would run far longer.
+    deadline = Deadline.after(cm_timeout_s)
     units: List[UnitCharacterization] = []
     try:
         units = characterize_units(
@@ -165,11 +177,11 @@ def polyufc_compile(
             set_associative=set_associative,
             workers=workers,
             engine=cm_engine,
+            deadline=deadline,
         )
     finally:
         timings.polyufc_cm_ms = (time.perf_counter() - started) * 1e3
-    if cm_timeout_s is not None and timings.polyufc_cm_ms / 1e3 > cm_timeout_s:
-        timed_out = True
+    timed_out = deadline is not None and deadline.expired()
 
     started = time.perf_counter()
     config = SearchConfig(objective=objective, epsilon=epsilon)
@@ -177,9 +189,11 @@ def polyufc_compile(
     aggregate_caps_for_overhead(
         decisions, platform, config, overhead_factor=cap_overhead_factor
     )
-    if timed_out:
-        # Paper Sec. VII-F: on CM timeout the cap resets to the maximum.
-        for decision in decisions:
+    # Paper Sec. VII-F, applied per unit: a unit whose characterization
+    # fell off the ladder's last rung gets the safe maximum cap; exact
+    # and approximate units keep their searched caps.
+    for unit, decision in zip(units, decisions):
+        if unit.degraded == "timeout-cap":
             decision.search.f_cap_ghz = platform.uncore.f_max_ghz
     capped = apply_caps(tiled_module, decisions)
     capped = remove_redundant_caps(capped)

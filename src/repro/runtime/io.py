@@ -1,0 +1,210 @@
+"""Hardened disk I/O for the persistent caches.
+
+Every artifact the pipeline persists (kernel-report cache entries, CM
+memo entries) goes through this module, which provides the three
+guarantees the ROADMAP's concurrent-and-crashing-writers scenario needs:
+
+* **Atomic publication** -- payloads are written to a per-writer temp
+  file and published with ``os.replace``, so readers never observe torn
+  JSON no matter how many writers race or crash mid-write.
+* **Integrity validation** -- payloads are wrapped in a small envelope
+  carrying a SHA-256 checksum over the canonical payload encoding plus a
+  format version; readers verify both (and any required schema keys)
+  before trusting a file.
+* **Quarantine and recompute** -- a file that fails validation is renamed
+  to ``<name>.corrupt`` (keeping the evidence, unblocking the slot) and
+  the caller recomputes; transient ``OSError`` is retried with bounded
+  exponential backoff before surfacing as :class:`TransientIOError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.runtime import faults
+from repro.runtime.errors import CacheCorruption, TransientIOError
+
+log = logging.getLogger("repro.runtime")
+
+#: Bump when the envelope shape itself changes.
+ENVELOPE_VERSION = 1
+
+_FORMAT = "repro-envelope"
+
+T = TypeVar("T")
+
+
+def canonical_json(payload) -> str:
+    """The canonical encoding the checksum is computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def checksum(payload) -> str:
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def wrap(payload) -> dict:
+    """Envelope a payload with its checksum and format version."""
+    return {
+        "format": _FORMAT,
+        "version": ENVELOPE_VERSION,
+        "sha256": checksum(payload),
+        "payload": payload,
+    }
+
+
+def with_retries(
+    fn: Callable[[], T],
+    *,
+    retries: int = 3,
+    base_delay_s: float = 0.01,
+    describe: str = "I/O operation",
+) -> T:
+    """Run ``fn``, retrying transient ``OSError`` with backoff.
+
+    ``FileNotFoundError`` is never retried (a missing file is a state, not
+    a transient); after the budget is exhausted the last error surfaces as
+    :class:`TransientIOError` so callers have one structured type to
+    degrade on.
+    """
+    delay = base_delay_s
+    last: Optional[OSError] = None
+    for attempt in range(retries + 1):
+        try:
+            return fn()
+        except FileNotFoundError:
+            raise
+        except OSError as exc:
+            last = exc
+            if attempt == retries:
+                break
+            log.debug(
+                "%s failed (attempt %d/%d): %s; retrying in %.3fs",
+                describe, attempt + 1, retries + 1, exc, delay,
+            )
+            time.sleep(delay)
+            delay *= 2
+    raise TransientIOError(
+        f"{describe} failed after {retries + 1} attempts: {last}"
+    ) from last
+
+
+def quarantine_file(path: Path) -> Optional[Path]:
+    """Move a corrupt file aside as ``<name>.corrupt``; best effort."""
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
+
+
+def atomic_write_json(
+    path: Path,
+    payload,
+    *,
+    fault_site: Optional[str] = None,
+    retries: int = 3,
+    base_delay_s: float = 0.01,
+) -> None:
+    """Atomically publish an enveloped JSON payload at ``path``.
+
+    Concurrent writers each stage into their own temp file (pid + thread
+    id suffixed) and race on the final ``os.replace``; whichever lands
+    last wins and the file is always a complete envelope.
+    """
+    path = Path(path)
+    text = json.dumps(wrap(payload))
+
+    def attempt() -> None:
+        if fault_site is not None:
+            faults.fire(fault_site)
+        body = faults.mangle(fault_site, text) if fault_site else text
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_text(body)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    with_retries(
+        attempt,
+        retries=retries,
+        base_delay_s=base_delay_s,
+        describe=f"write of {path.name}",
+    )
+
+
+def read_checked_json(
+    path: Path,
+    *,
+    fault_site: Optional[str] = None,
+    quarantine: bool = True,
+    required_keys: Sequence[str] = (),
+    retries: int = 3,
+):
+    """Read and validate an enveloped JSON payload.
+
+    Raises :class:`CacheCorruption` (after quarantining the file, unless
+    disabled) on any parse, format, checksum or schema failure;
+    :class:`TransientIOError` if the read itself keeps failing; and
+    ``FileNotFoundError`` untouched.
+    """
+    path = Path(path)
+
+    def attempt() -> str:
+        if fault_site is not None:
+            faults.fire(fault_site)
+        return path.read_text()
+
+    text = with_retries(
+        attempt, retries=retries, describe=f"read of {path.name}"
+    )
+    if fault_site is not None:
+        text = faults.mangle(fault_site, text)
+
+    def corrupt(reason: str) -> CacheCorruption:
+        log.warning("corrupt cache entry %s: %s", path, reason)
+        if quarantine:
+            moved = quarantine_file(path)
+            if moved is not None:
+                log.warning("quarantined %s -> %s", path.name, moved.name)
+        return CacheCorruption(f"{path}: {reason}", path=path)
+
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise corrupt(f"invalid JSON ({exc})") from exc
+    if not isinstance(envelope, dict) or envelope.get("format") != _FORMAT:
+        raise corrupt("missing envelope format marker")
+    if envelope.get("version") != ENVELOPE_VERSION:
+        raise corrupt(
+            f"envelope version {envelope.get('version')!r} "
+            f"!= {ENVELOPE_VERSION}"
+        )
+    if "payload" not in envelope:
+        raise corrupt("envelope has no payload")
+    payload = envelope["payload"]
+    if envelope.get("sha256") != checksum(payload):
+        raise corrupt("checksum mismatch")
+    if required_keys:
+        if not isinstance(payload, dict):
+            raise corrupt("payload is not an object")
+        missing = [key for key in required_keys if key not in payload]
+        if missing:
+            raise corrupt(f"payload missing keys {missing}")
+    return payload

@@ -120,12 +120,18 @@ def polyufc_search(
     # --- phase 2: epsilon-guided directional refinement ----------------------
     converged = iterations < config.max_iterations
     index = freqs.index(best.f_ghz)
+
+    def ratio(num: float, den: float) -> float:
+        # Zero-work units (degraded fallbacks) have zero perf/bandwidth
+        # everywhere; treat their ratios as flat rather than dividing by 0.
+        return num / den if den > 0.0 else 1.0
+
     if model.characterization.is_compute_bound:
         # Descend while performance loss stays within epsilon of BW loss.
         while index > 0:
             lower = evaluate(freqs[index - 1])
-            perf_loss = 1.0 - lower.perf_flops / best.perf_flops
-            bw_loss = 1.0 - lower.bandwidth_bps / best.bandwidth_bps
+            perf_loss = 1.0 - ratio(lower.perf_flops, best.perf_flops)
+            bw_loss = 1.0 - ratio(lower.bandwidth_bps, best.bandwidth_bps)
             improves = objective_of(lower) <= objective_of(best)
             if perf_loss - bw_loss > config.epsilon or not improves:
                 break
@@ -142,8 +148,8 @@ def polyufc_search(
             if next_freq > saturation + 0.05:
                 break
             higher = evaluate(next_freq)
-            perf_gain = higher.perf_flops / best.perf_flops - 1.0
-            bw_gain = higher.bandwidth_bps / best.bandwidth_bps - 1.0
+            perf_gain = ratio(higher.perf_flops, best.perf_flops) - 1.0
+            bw_gain = ratio(higher.bandwidth_bps, best.bandwidth_bps) - 1.0
             aligned = bw_gain - perf_gain <= config.epsilon
             if not aligned or perf_gain <= -config.epsilon:
                 break

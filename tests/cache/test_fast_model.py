@@ -107,9 +107,9 @@ class TestCascadeStages:
         calls = []
         original = fast_model._prefix_count
 
-        def counting_prefix(w, gi, wq):
+        def counting_prefix(w, gi, wq, **kwargs):
             calls.append(gi.size)
-            return original(w, gi, wq)
+            return original(w, gi, wq, **kwargs)
 
         monkeypatch.setattr(fast_model, "_prefix_count", counting_prefix)
         distinct = (fast_model._PREFIX_DIRECT + 4) * fast_model._CHUNK

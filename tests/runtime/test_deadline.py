@@ -1,0 +1,82 @@
+"""Unit tests for the cooperative deadline primitive."""
+
+import time
+
+import pytest
+
+from repro.runtime import Deadline, DeadlineExceeded, check, resolve_timeout
+
+
+class TestDeadline:
+    def test_after_none_means_no_budget(self):
+        assert Deadline.after(None) is None
+
+    def test_after_builds_a_deadline(self):
+        deadline = Deadline.after(10.0)
+        assert isinstance(deadline, Deadline)
+        assert deadline.budget_s == 10.0
+        assert 0.0 < deadline.remaining() <= 10.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_zero_budget_is_immediately_expired(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_site(self):
+        deadline = Deadline(0.0)
+        with pytest.raises(DeadlineExceeded, match="at cm.chunk"):
+            deadline.check("cm.chunk")
+
+    def test_check_passes_before_expiry(self):
+        Deadline(60.0).check("anywhere")
+
+    def test_expiry_over_time(self):
+        deadline = Deadline(0.02)
+        assert not deadline.expired()
+        time.sleep(0.03)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+    def test_module_level_check_tolerates_none(self):
+        check(None, "anywhere")  # no-op
+        with pytest.raises(DeadlineExceeded):
+            check(Deadline(0.0), "site")
+
+    def test_exception_carries_site(self):
+        try:
+            Deadline(0.0).check("cm.level:L2")
+        except DeadlineExceeded as exc:
+            assert exc.site == "cm.level:L2"
+        else:  # pragma: no cover
+            pytest.fail("expected DeadlineExceeded")
+
+
+class TestResolveTimeout:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CM_TIMEOUT_S", "99")
+        assert resolve_timeout(1.5) == 1.5
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CM_TIMEOUT_S", "2.5")
+        assert resolve_timeout() == 2.5
+
+    def test_unset_env_means_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CM_TIMEOUT_S", raising=False)
+        assert resolve_timeout() is None
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CM_TIMEOUT_S", "soon")
+        assert resolve_timeout() is None
+
+    def test_negative_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CM_TIMEOUT_S", "-3")
+        assert resolve_timeout() is None
+
+    def test_zero_env_is_a_real_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CM_TIMEOUT_S", "0")
+        assert resolve_timeout() == 0.0

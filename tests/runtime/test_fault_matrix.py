@@ -1,0 +1,92 @@
+"""Faults armed at every named site must never crash ``kernel_report``.
+
+Each case arms one fault through the ``REPRO_FAULTS`` environment knob
+(the same mechanism the CI fault-injection job uses) and runs the full
+report twice -- once against cold caches so the write-side sites fire,
+once against warm caches so the read-side sites fire.  The report must
+come back with units either exact or visibly degraded; nothing raises.
+"""
+
+import pytest
+
+from repro.cache.memo import clear_memo
+from repro.runtime.faults import KNOWN_SITES
+
+# (site, kind, needs_memo): memo-site cases keep memoization on (pointed
+# at a fresh dir) and disable the report cache so the memo layer is
+# actually reached on the warm pass; cm/report cases disable memoization
+# so the engines recompute and fire.
+CASES = [
+    ("cm.trace", "fail", False),
+    ("cm.engine", "fail", False),
+    ("cm.chunk", "fail", False),
+    ("cm.chunk", "slow:0.01", False),
+    ("cm.count", "fail", False),
+    ("memo.read", "corrupt", True),
+    ("memo.read", "fail", True),
+    ("memo.write", "io", True),
+    ("memo.write", "corrupt", True),
+    ("report.read", "corrupt", False),
+    ("report.read", "io", False),
+    ("report.write", "io", False),
+    ("report.write", "fail", False),
+]
+
+
+def test_every_site_is_covered():
+    assert {site for site, _, _ in CASES} == set(KNOWN_SITES)
+
+
+@pytest.mark.parametrize(
+    "site,kind,needs_memo",
+    CASES,
+    ids=[f"{site}:{kind.split(':')[0]}" for site, kind, _ in CASES],
+)
+def test_armed_fault_never_crashes_kernel_report(
+    tmp_path, monkeypatch, site, kind, needs_memo
+):
+    from repro.experiments import kernel_report
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "reports"))
+    if needs_memo:
+        monkeypatch.setenv("REPRO_CM_MEMO", "1")
+        monkeypatch.setenv("REPRO_CM_MEMO_DIR", str(tmp_path / "memo"))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    else:
+        monkeypatch.setenv("REPRO_CM_MEMO", "0")
+    clear_memo()
+    monkeypatch.setenv("REPRO_FAULTS", f"{site}:{kind}")
+
+    cold = kernel_report("doitgen", "rpl", cm_timeout_s=5.0)
+    clear_memo()  # drop the in-process LRU so disk layers are consulted
+    warm = kernel_report("doitgen", "rpl", cm_timeout_s=5.0)
+
+    for report in (cold, warm):
+        assert report.units
+        for unit in report.units:
+            assert unit.degraded in ("exact", "approx", "timeout-cap")
+            if unit.degraded != "exact":
+                assert unit.warning  # degradation is visible per unit
+        assert all(cap > 0 for cap in report.caps())
+
+
+def test_hard_engine_fault_is_visible_in_unit_metadata(tmp_path, monkeypatch):
+    from repro.experiments import kernel_report
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CM_MEMO", "0")
+    monkeypatch.setenv("REPRO_FAULTS", "cm.engine:fail")
+    clear_memo()
+    report = kernel_report("doitgen", "rpl")
+    assert report.degraded_units  # every unit lost its exact rung
+    assert not report.fully_exact
+    for unit in report.units:
+        assert unit.degraded == "timeout-cap"
+        assert "injected engine fault" in unit.warning
+    # degraded reports are never persisted -- the cache cannot be poisoned
+    assert not list(tmp_path.glob("report_*.json"))
+    # disarmed, the same slot recomputes exactly and persists
+    monkeypatch.setenv("REPRO_FAULTS", "")
+    exact = kernel_report("doitgen", "rpl")
+    assert exact.fully_exact
+    assert list(tmp_path.glob("report_*.json"))
