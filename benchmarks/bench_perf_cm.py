@@ -1,11 +1,14 @@
-"""CM-engine performance benchmark: fast vs reference, serial vs workers.
+"""CM-engine performance benchmark: fast vs reference vs symbolic.
 
 Times trace generation and PolyUFC-CM evaluation on representative
 PolyBench kernels, for both the set-associative (SA) and fully-associative
-(FA) RPL hierarchies and both CM engines, and times per-unit
-characterization serially vs through the thread pool.  Results (and the
-engines' agreement check) land in ``BENCH_cm.json`` at the repo root so
-later PRs can track the perf trajectory::
+(FA) RPL hierarchies and all three CM engines, and times per-unit
+characterization serially vs through the thread pool.  The trace-free
+``symbolic`` engine is measured against ``trace_s + fast_s`` (the cost it
+replaces); kernels outside its quasi-affine class record the fallback
+reason instead of a time.  Results (and the engines' agreement check)
+land in ``BENCH_cm.json`` at the repo root so later PRs can track the
+perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_perf_cm.py            # full matrix
     PYTHONPATH=src python benchmarks/bench_perf_cm.py --smoke    # CI-sized
@@ -33,6 +36,7 @@ import numpy as np
 from repro.benchsuite.polybench import POLYBENCH_BUILDERS
 from repro.cache import generate_trace, polyufc_cm
 from repro.cache.memo import clear_memo
+from repro.cache.symbolic_model import SymbolicUnsupported, symbolic_cm
 from repro.hw.platform import PLATFORMS
 from repro.mlpolyufc.characterization import characterize_units
 from repro.pipeline import get_constants
@@ -43,6 +47,7 @@ from repro.poly.transforms import tile_and_parallelize
 FULL_CASES = [
     ("2mm", "2mm", {}),
     ("3mm", "3mm", {}),
+    ("gemm", "gemm", {}),
     ("atax", "atax", {}),
     ("mvt", "mvt", {}),
     ("trisolv", "trisolv", {}),
@@ -78,6 +83,22 @@ def cm_rows(cases, reps, fast_reps):
             ref_s, reference = time_call(
                 lambda: polyufc_cm(trace, hier, engine="reference"), reps
             )
+            try:
+                sym_s, symbolic = time_call(
+                    lambda: symbolic_cm(module, None, hier), fast_reps
+                )
+                sym_note = None
+                sym_match = symbolic == fast
+                sym_speedup = (
+                    round((trace_s + fast_s) / sym_s, 2) if sym_s else None
+                )
+                sym_text = (
+                    f"sym={sym_s:8.3f}s ({sym_speedup:5.1f}x vs trace+fast)"
+                )
+            except SymbolicUnsupported as exc:
+                sym_s, sym_match, sym_speedup = None, None, None
+                sym_note = str(exc)
+                sym_text = "sym= fallback"
             row = {
                 "kernel": label,
                 "hierarchy": hier_label,
@@ -85,14 +106,16 @@ def cm_rows(cases, reps, fast_reps):
                 "trace_s": round(trace_s, 4),
                 "fast_s": round(fast_s, 4),
                 "reference_s": round(ref_s, 4),
+                "symbolic_s": round(sym_s, 4) if sym_s is not None else None,
+                "symbolic_speedup": sym_speedup,
+                "symbolic_note": sym_note,
                 "speedup": round(ref_s / fast_s, 2) if fast_s else None,
-                "engines_match": fast == reference,
+                "engines_match": fast == reference and sym_match is not False,
             }
             rows.append(row)
             print(
                 f"{label:>20} {hier_label}  n={len(trace):>9,}  "
-                f"fast={fast_s:8.3f}s  ref={ref_s:8.3f}s  "
-                f"speedup={row['speedup']:6.2f}x  "
+                f"fast={fast_s:8.3f}s  ref={ref_s:8.3f}s  {sym_text}  "
                 f"{'OK' if row['engines_match'] else 'MISMATCH'}"
             )
             if not row["engines_match"]:
@@ -100,6 +123,25 @@ def cm_rows(cases, reps, fast_reps):
                     f"engine disagreement on {label}/{hier_label}"
                 )
     return rows
+
+
+def line_ids_section(reps):
+    """Repeat-hierarchy trace path: ``line_ids`` cold vs memoized."""
+    module = POLYBENCH_BUILDERS["2mm"]()
+    trace = generate_trace(module)
+    line_bytes = PLATFORMS["rpl"]().hierarchy.line_bytes
+    cold_s, _ = time_call(lambda: trace.line_ids(line_bytes), 1)
+    warm_s, _ = time_call(lambda: trace.line_ids(line_bytes), max(reps, 3))
+    print(
+        f"{'line_ids 2mm':>20} cold={cold_s:.4f}s  warm={warm_s:.6f}s"
+    )
+    return {
+        "module": "2mm",
+        "accesses": len(trace),
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 9),
+        "speedup": round(cold_s / warm_s, 2) if warm_s > 1e-9 else None,
+    }
 
 
 def workers_section(reps):
@@ -150,8 +192,14 @@ def main(argv=None):
     fast_reps = 1 if args.smoke else 2
     rows = cm_rows(cases, reps, fast_reps)
     workers = workers_section(1)
+    line_ids = line_ids_section(reps)
 
     speedups = [row["speedup"] for row in rows]
+    symbolic_speedups = [
+        row["symbolic_speedup"]
+        for row in rows
+        if row["symbolic_speedup"] is not None
+    ]
     payload = {
         "host": {
             "machine": platform_mod.machine(),
@@ -162,7 +210,11 @@ def main(argv=None):
         "smoke": args.smoke,
         "rows": rows,
         "workers": workers,
+        "line_ids": line_ids,
         "max_speedup": max(speedups),
+        "max_symbolic_speedup": (
+            max(symbolic_speedups) if symbolic_speedups else None
+        ),
         "all_engines_match": all(row["engines_match"] for row in rows),
     }
     output = (

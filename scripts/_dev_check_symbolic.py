@@ -1,0 +1,48 @@
+"""Dev harness: symbolic vs fast equivalence + timing (not shipped in tests)."""
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.benchsuite.polybench import POLYBENCH_BUILDERS
+from repro.cache.static_model import polyufc_cm
+from repro.cache.symbolic_model import SymbolicUnsupported, symbolic_cm
+from repro.cache.trace import generate_trace
+from repro.hw.platform import PLATFORMS
+
+KERNELS = ["2mm", "3mm", "mvt", "atax", "trisolv"]
+
+plat = PLATFORMS["rpl"]()
+hiers = {"SA": plat.hierarchy, "FA": plat.hierarchy.fully_associative()}
+
+for name in KERNELS:
+    module = POLYBENCH_BUILDERS[name]()
+    t0 = time.perf_counter()
+    trace = generate_trace(module)
+    trace_s = time.perf_counter() - t0
+    for hname, hier in hiers.items():
+        t0 = time.perf_counter()
+        ref = polyufc_cm(trace, hier, engine="fast")
+        fast_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        try:
+            sym = symbolic_cm(module, None, hier)
+        except SymbolicUnsupported as exc:
+            print(f"{name:10s} {hname}: UNSUPPORTED ({exc}) "
+                  f"trace={trace_s:.2f}s fast={fast_s:.2f}s")
+            continue
+        sym_s = time.perf_counter() - t0
+        ok = all(
+            (a.accesses, a.cold_misses, a.capacity_conflict_misses)
+            == (b.accesses, b.cold_misses, b.capacity_conflict_misses)
+            for a, b in zip(sym.levels, ref.levels)
+        ) and len(sym.levels) == len(ref.levels)
+        status = "OK " if ok else "MISMATCH"
+        speed = (trace_s + fast_s) / sym_s if sym_s else float("inf")
+        print(f"{name:10s} {hname}: {status} trace={trace_s:.2f}s "
+              f"fast={fast_s:.2f}s sym={sym_s:.2f}s ({speed:.1f}x)")
+        if not ok:
+            for a, b in zip(sym.levels, ref.levels):
+                print(f"    {a.name}: sym acc={a.accesses} cold={a.cold_misses} "
+                      f"cap={a.capacity_conflict_misses} | fast acc={b.accesses} "
+                      f"cold={b.cold_misses} cap={b.capacity_conflict_misses}")

@@ -27,9 +27,11 @@ from repro.cache.static_model import (
 from repro.cache.memo import (
     clear_memo,
     memoized_cm,
+    memoized_cm_with_note,
     memoized_trace,
     unit_fingerprint,
 )
+from repro.cache.symbolic_model import SymbolicUnsupported, symbolic_cm
 from repro.cache.polyhedral_model import (
     ExactLevelCounts,
     ExactPolyhedralCM,
@@ -51,8 +53,11 @@ __all__ = [
     "resolve_engine",
     "clear_memo",
     "memoized_cm",
+    "memoized_cm_with_note",
     "memoized_trace",
     "unit_fingerprint",
+    "SymbolicUnsupported",
+    "symbolic_cm",
     "ExactLevelCounts",
     "ExactPolyhedralCM",
     "exact_first_level_counts",

@@ -54,7 +54,9 @@ log = logging.getLogger("repro.runtime")
 
 #: Bump to invalidate every persisted fingerprint after model changes.
 #: v2: disk entries moved to the checksummed ``repro-envelope`` format.
-MEMO_VERSION = 2
+#: v3: the ``symbolic`` engine joined the dispatch and entries may carry
+#: a structured fallback note.
+MEMO_VERSION = 3
 
 _MEMO_ENV = "REPRO_CM_MEMO"
 _MEMO_DIR_ENV = "REPRO_CM_MEMO_DIR"
@@ -247,13 +249,20 @@ def _resolve_memo_dir(memo_dir) -> Optional[Path]:
 _PAYLOAD_KEYS = ("line_bytes", "total_accesses", "threads", "levels")
 
 
-def _read_disk_entry(path: Path) -> Optional[CacheModelResult]:
-    """One hardened disk-memo read: validated, quarantined on corruption."""
+def _read_disk_entry(path: Path):
+    """One hardened disk-memo read: validated, quarantined on corruption.
+
+    Returns ``(cm, note)`` or ``None``; ``note`` is the optional
+    structured symbolic-fallback annotation stored alongside the counters.
+    """
     try:
         payload = read_checked_json(
             path, fault_site="memo.read", required_keys=_PAYLOAD_KEYS
         )
-        return _cm_from_payload(payload)
+        note = payload.get("note")
+        if note is not None and not isinstance(note, str):
+            raise TypeError(f"note must be a string, got {type(note).__name__}")
+        return _cm_from_payload(payload), note
     except FileNotFoundError:
         return None
     except CacheCorruption:
@@ -268,6 +277,117 @@ def _read_disk_entry(path: Path) -> Optional[CacheModelResult]:
         return None
 
 
+def _compute_cm(
+    module: Module,
+    ops: Optional[Sequence[Op]],
+    hierarchy: CacheHierarchy,
+    threads: int,
+    parallel: bool,
+    engine_name: str,
+    max_accesses: int,
+    deadline: Optional[Deadline],
+) -> Tuple[CacheModelResult, Optional[str]]:
+    """The uncached evaluation: symbolic first when asked, trace otherwise.
+
+    Returns ``(cm, note)``: ``note`` is ``None`` except when the symbolic
+    engine declared the unit outside its quasi-affine class and the
+    evaluation fell back to the trace-based ``fast`` engine.
+    """
+    note: Optional[str] = None
+    if engine_name == "symbolic":
+        # Imported lazily: symbolic_model depends on this module's
+        # siblings and the isllite counting stack.
+        from repro.cache.symbolic_model import (
+            SymbolicUnsupported,
+            symbolic_cm,
+        )
+
+        try:
+            return (
+                symbolic_cm(
+                    module, ops, hierarchy, threads=threads,
+                    parallel=parallel, deadline=deadline,
+                ),
+                None,
+            )
+        except SymbolicUnsupported as exc:
+            note = f"symbolic engine fell back to fast: {exc}"
+            log.info(
+                "symbolic CM of %s unsupported (%s); using the fast "
+                "trace engine", module.name, exc,
+            )
+            engine_name = "fast"
+    trace = memoized_trace(
+        module, ops, max_accesses=max_accesses, deadline=deadline
+    )
+    cm = polyufc_cm(
+        trace, hierarchy, threads=threads, parallel=parallel,
+        engine=engine_name, deadline=deadline,
+    )
+    return cm, note
+
+
+def memoized_cm_with_note(
+    module: Module,
+    ops: Optional[Sequence[Op]],
+    hierarchy: CacheHierarchy,
+    threads: int = 1,
+    parallel: bool = False,
+    engine: Optional[str] = None,
+    max_accesses: int = 60_000_000,
+    memo_dir=None,
+    deadline: Optional[Deadline] = None,
+) -> Tuple[CacheModelResult, Optional[str]]:
+    """The trace+CM evaluation of one unit, memoized, with its note.
+
+    Layering: in-process LRU, then the on-disk JSON store (when a
+    directory is configured), then the real computation -- whose trace
+    goes through :func:`memoized_trace` so an immediately following
+    different-hierarchy request reuses it.  Disk entries are atomic,
+    checksummed and quarantined-on-corruption (``repro.runtime.io``);
+    a ``deadline`` interrupts the underlying computation at chunk
+    boundaries and nothing partial is ever cached.
+
+    The second element is the structured symbolic-fallback note
+    (``None`` unless ``engine="symbolic"`` had to fall back), preserved
+    through both memo layers.
+    """
+    engine_name = resolve_engine(engine)
+    if not memo_enabled():
+        return _compute_cm(
+            module, ops, hierarchy, threads, parallel, engine_name,
+            max_accesses, deadline,
+        )
+    key = unit_fingerprint(
+        module, ops, hierarchy, threads, parallel, engine, max_accesses
+    )
+    cached = _cm_lru.get(key)
+    if cached is not None:
+        return cached
+    directory = _resolve_memo_dir(memo_dir)
+    path = directory / f"cm_{key}.json" if directory else None
+    if path is not None and path.exists():
+        entry = _read_disk_entry(path)
+        if entry is not None:
+            _cm_lru.put(key, entry)
+            return entry
+    cm, note = _compute_cm(
+        module, ops, hierarchy, threads, parallel, engine_name,
+        max_accesses, deadline,
+    )
+    _cm_lru.put(key, (cm, note))
+    if path is not None:
+        payload = _cm_to_payload(cm)
+        if note is not None:
+            payload["note"] = note
+        try:
+            atomic_write_json(path, payload, fault_site="memo.write")
+        except (TransientIOError, EngineFailure) as exc:
+            # Losing a memo entry costs a recompute later, never a crash.
+            log.warning("memo write of %s failed (%s); continuing", path, exc)
+    return cm, note
+
+
 def memoized_cm(
     module: Module,
     ops: Optional[Sequence[Op]],
@@ -279,51 +399,10 @@ def memoized_cm(
     memo_dir=None,
     deadline: Optional[Deadline] = None,
 ) -> CacheModelResult:
-    """The trace+CM evaluation of one unit, memoized.
-
-    Layering: in-process LRU, then the on-disk JSON store (when a
-    directory is configured), then the real computation -- whose trace
-    goes through :func:`memoized_trace` so an immediately following
-    different-hierarchy request reuses it.  Disk entries are atomic,
-    checksummed and quarantined-on-corruption (``repro.runtime.io``);
-    a ``deadline`` interrupts the underlying computation at chunk
-    boundaries and nothing partial is ever cached.
-    """
-    if not memo_enabled():
-        trace = generate_trace(
-            module, ops, max_accesses=max_accesses, deadline=deadline
-        )
-        return polyufc_cm(
-            trace, hierarchy, threads=threads, parallel=parallel,
-            engine=engine, deadline=deadline,
-        )
-    key = unit_fingerprint(
-        module, ops, hierarchy, threads, parallel, engine, max_accesses
-    )
-    cached = _cm_lru.get(key)
-    if cached is not None:
-        return cached
-    directory = _resolve_memo_dir(memo_dir)
-    path = directory / f"cm_{key}.json" if directory else None
-    if path is not None and path.exists():
-        cm = _read_disk_entry(path)
-        if cm is not None:
-            _cm_lru.put(key, cm)
-            return cm
-    trace = memoized_trace(
-        module, ops, max_accesses=max_accesses, deadline=deadline
-    )
-    cm = polyufc_cm(
-        trace, hierarchy, threads=threads, parallel=parallel, engine=engine,
+    """:func:`memoized_cm_with_note` without the note (compat shim)."""
+    cm, _note = memoized_cm_with_note(
+        module, ops, hierarchy, threads=threads, parallel=parallel,
+        engine=engine, max_accesses=max_accesses, memo_dir=memo_dir,
         deadline=deadline,
     )
-    _cm_lru.put(key, cm)
-    if path is not None:
-        try:
-            atomic_write_json(
-                path, _cm_to_payload(cm), fault_site="memo.write"
-            )
-        except (TransientIOError, EngineFailure) as exc:
-            # Losing a memo entry costs a recompute later, never a crash.
-            log.warning("memo write of %s failed (%s); continuing", path, exc)
     return cm

@@ -43,8 +43,11 @@ from repro.runtime import Deadline, check as _check_deadline, faults
 #: Selectable CM evaluation engines.  ``fast`` is the vectorized NumPy
 #: stack-distance kernel (:mod:`repro.cache.fast_model`); ``reference``
 #: is the original per-access Python loop, kept as the bit-for-bit
-#: oracle.  Both produce identical :class:`LevelModelStats`.
-CM_ENGINES = ("fast", "reference")
+#: oracle; ``symbolic`` (:mod:`repro.cache.symbolic_model`) computes the
+#: same :class:`LevelModelStats` without materializing the access trace
+#: and falls back to ``fast`` outside its supported quasi-affine class.
+#: All engines produce identical :class:`LevelModelStats` where exact.
+CM_ENGINES = ("fast", "reference", "symbolic")
 
 _ENGINE_ENV = "REPRO_CM_ENGINE"
 
@@ -210,6 +213,11 @@ def polyufc_cm(
     faults.fire("cm.engine")
     _check_deadline(deadline, "cm.engine")
     line_ids = trace.line_ids(hierarchy.line_bytes)
+    if engine == "symbolic":
+        # The symbolic engine is trace-free; once a trace has been
+        # materialized (approximate rung, direct callers) the vectorized
+        # trace evaluator is the right tool, so the name degrades to it.
+        engine = "fast"
     if engine == "fast":
         level_fn = _fast_model_level
         lines = np.ascontiguousarray(line_ids, dtype=np.int64)

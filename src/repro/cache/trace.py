@@ -9,7 +9,7 @@ generation is fast enough for the simulated problem sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,26 +47,60 @@ class AccessTrace:
     buffer_ids: np.ndarray
     offsets: np.ndarray
     is_write: np.ndarray
+    #: Memoized ``line_ids`` results keyed by ``line_bytes`` -- SA and FA
+    #: hierarchies share the line geometry, so re-deriving the array per
+    #: level/hierarchy is pure waste.
+    _line_cache: Dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Per-access byte offsets within their buffer (independent of the
+    #: line size), computed once and shared by every ``line_ids`` call.
+    _byte_offsets: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.buffer_ids)
 
-    def line_ids(self, line_bytes: int) -> np.ndarray:
-        """Global cache-line ids: buffers laid out line-aligned end to end."""
+    def buffer_bases(self, line_bytes: int) -> np.ndarray:
+        """Per-buffer base byte addresses for a line-aligned layout."""
         bases = np.zeros(len(self.buffers), dtype=np.int64)
         cursor = 0
         for index, buffer in enumerate(self.buffers):
             bases[index] = cursor
             lines = -(-buffer.size_bytes // line_bytes)  # ceil
             cursor += lines * line_bytes
-        element_sizes = np.array(
-            [b.dtype.size_bytes for b in self.buffers], dtype=np.int64
-        )
-        byte_addr = (
-            bases[self.buffer_ids]
-            + self.offsets * element_sizes[self.buffer_ids]
-        )
-        return byte_addr // line_bytes
+        return bases
+
+    def line_ids(self, line_bytes: int) -> np.ndarray:
+        """Global cache-line ids: buffers laid out line-aligned end to end.
+
+        Results are memoized per ``line_bytes`` and the line-size-agnostic
+        within-buffer byte offsets are hoisted out, so multi-level and
+        multi-hierarchy evaluations of the same trace do the address
+        arithmetic exactly once.
+        """
+        cached = self._line_cache.get(line_bytes)
+        if cached is not None:
+            return cached
+        if self._byte_offsets is None:
+            element_sizes = np.array(
+                [b.dtype.size_bytes for b in self.buffers], dtype=np.int64
+            )
+            if len(self.buffers):
+                self._byte_offsets = (
+                    self.offsets * element_sizes[self.buffer_ids]
+                )
+            else:
+                self._byte_offsets = np.zeros(0, dtype=np.int64)
+        bases = self.buffer_bases(line_bytes)
+        if len(self.buffers):
+            byte_addr = bases[self.buffer_ids] + self._byte_offsets
+        else:
+            byte_addr = self._byte_offsets
+        ids = byte_addr // line_bytes
+        self._line_cache[line_bytes] = ids
+        return ids
 
     def footprint_bytes(self) -> int:
         """Total bytes of distinct elements touched.

@@ -18,6 +18,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.cache.static_model import CM_ENGINES
+
 
 def _add_platform(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
@@ -33,7 +35,7 @@ def _add_cm_knobs(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_CM_WORKERS or serial)",
     )
     parser.add_argument(
-        "--cm-engine", default=None, choices=["fast", "reference"],
+        "--cm-engine", default=None, choices=list(CM_ENGINES),
         help="PolyUFC-CM evaluator (default: $REPRO_CM_ENGINE or fast)",
     )
     parser.add_argument(

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.config import CacheHierarchy
-from repro.cache.memo import memoized_cm
+from repro.cache.memo import memoized_cm_with_note
 from repro.cache.static_model import (
     CacheModelResult,
     LevelModelStats,
@@ -78,7 +78,11 @@ class UnitCharacterization:
 
     ``degraded`` records which rung of the degradation ladder produced the
     counters (:data:`DEGRADATION_RUNGS`); ``warning`` carries the
-    structured reason when it is not ``"exact"``.
+    structured reason when it is not ``"exact"``.  ``cm_note`` is the
+    structured engine annotation: when the ``symbolic`` CM engine found
+    the unit outside its quasi-affine class and fell back to ``fast``,
+    the reason lands here (the counters stay exact, so ``degraded``
+    remains ``"exact"``).
     """
 
     name: str
@@ -90,6 +94,7 @@ class UnitCharacterization:
     parallel: bool
     degraded: str = "exact"
     warning: Optional[str] = None
+    cm_note: Optional[str] = None
 
     @property
     def oi_fpb(self) -> float:
@@ -317,11 +322,11 @@ def characterize_units(
     units = group_affine_units(module, granularity)
 
     def cm_with_ladder(name, ops, parallel):
-        """(cm, rung, warning) for one unit, walking the ladder down."""
+        """(cm, rung, warning, note) for one unit, walking the ladder down."""
         try:
             if deadline is not None:
                 deadline.check(f"unit:{name}")
-            cm = memoized_cm(
+            cm, note = memoized_cm_with_note(
                 module,
                 ops,
                 hierarchy,
@@ -331,7 +336,7 @@ def characterize_units(
                 max_accesses=max_trace_accesses,
                 deadline=deadline,
             )
-            return cm, "exact", None
+            return cm, "exact", None, note
         except DEGRADABLE_ERRORS as exc:
             failure = exc
         if deadline is None or not deadline.expired():
@@ -346,19 +351,19 @@ def characterize_units(
                     "scaled truncated-trace estimate"
                 )
                 log.warning("unit %s degraded to approx: %s", name, failure)
-                return cm, "approx", warning
+                return cm, "approx", warning, None
             except DEGRADABLE_ERRORS as exc:
                 failure = exc
         log.warning(
             "unit %s degraded to timeout-cap (f_max): %s", name, failure
         )
-        return fallback_cm(hierarchy, threads), "timeout-cap", str(failure)
+        return fallback_cm(hierarchy, threads), "timeout-cap", str(failure), None
 
     def characterize_one(unit: Tuple[str, List[Op]]) -> UnitCharacterization:
         name, ops = unit
         omega = sum(flops_by_root.get(id(op), 0) for op in ops)
         parallel = _is_parallel_unit(ops)
-        cm, degraded, warning = cm_with_ladder(name, ops, parallel)
+        cm, degraded, warning, cm_note = cm_with_ladder(name, ops, parallel)
         cores_used = min(threads, platform.cores) if parallel else 1
         cores_fraction = cores_used / platform.cores
         try:
@@ -390,6 +395,7 @@ def characterize_units(
             parallel=parallel,
             degraded=degraded,
             warning=warning,
+            cm_note=cm_note,
         )
 
     if workers > 1 and len(units) > 1:
