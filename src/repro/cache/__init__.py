@@ -20,6 +20,7 @@ from repro.cache.simulator import CacheSimResult, LevelStats, simulate_hierarchy
 from repro.cache.static_model import (
     CM_ENGINES,
     CacheModelResult,
+    LevelCounters,
     LevelModelStats,
     polyufc_cm,
     resolve_engine,
@@ -47,6 +48,7 @@ __all__ = [
     "LevelStats",
     "simulate_hierarchy",
     "CacheModelResult",
+    "LevelCounters",
     "LevelModelStats",
     "polyufc_cm",
     "CM_ENGINES",

@@ -68,6 +68,20 @@ class CacheSimResult:
         """Bytes requested *from* level ``index`` (its access count x line)."""
         return self.levels[index].accesses * self.line_bytes
 
+    def counters(self) -> Tuple[Tuple[str, int, int, int], ...]:
+        """Per-level ``(name, accesses, misses, writebacks)`` tuples.
+
+        The simulator-side analogue of
+        :meth:`repro.cache.static_model.CacheModelResult.counters` -- a
+        plain comparable struct for differential and regression checks
+        (the split differs because the simulator does not distinguish
+        cold from capacity/conflict misses).
+        """
+        return tuple(
+            (level.name, level.accesses, level.misses, level.writebacks)
+            for level in self.levels
+        )
+
 
 def _simulate_level(
     lines: List[int],

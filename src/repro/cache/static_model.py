@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +63,21 @@ def resolve_engine(engine: Optional[str] = None) -> str:
     return engine
 
 
+class LevelCounters(NamedTuple):
+    """The engine-comparable counters of one cache level.
+
+    Every CM engine (reference, fast, symbolic) must produce these four
+    numbers bit-for-bit identically; the differential verifier
+    (:mod:`repro.verify`) diffs engines through this struct so a
+    disagreement names the exact level and counter that drifted.
+    """
+
+    name: str
+    accesses: int
+    cold_misses: int
+    capacity_conflict_misses: int
+
+
 @dataclass(frozen=True)
 class LevelModelStats:
     """Model counters for one cache level."""
@@ -71,6 +86,15 @@ class LevelModelStats:
     accesses: int
     cold_misses: int
     capacity_conflict_misses: int
+
+    def counters(self) -> LevelCounters:
+        """This level's counters as the engine-comparable struct."""
+        return LevelCounters(
+            self.name,
+            self.accesses,
+            self.cold_misses,
+            self.capacity_conflict_misses,
+        )
 
     @property
     def misses(self) -> int:
@@ -121,6 +145,10 @@ class CacheModelResult:
 
     def hit_ratios(self) -> Tuple[float, ...]:
         return tuple(level.hit_ratio for level in self.levels)
+
+    def counters(self) -> Tuple[LevelCounters, ...]:
+        """Per-level engine-comparable counters (see :class:`LevelCounters`)."""
+        return tuple(level.counters() for level in self.levels)
 
 
 #: Accesses between cooperative checkpoints in the reference engine.

@@ -10,6 +10,7 @@ Commands:
 * ``compare <kernel>`` -- PolyUFC caps vs the UFS-driver baseline
 * ``sweep <kernel>`` -- time/energy/EDP across the uncore range
 * ``roofline <kernels...>`` -- ASCII roofline plot with kernels placed on it
+* ``fuzz`` -- generative differential verification of the CM engines
 """
 
 from __future__ import annotations
@@ -100,6 +101,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     roofline.add_argument("kernels", nargs="+")
     _add_platform(roofline)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzz of the CM engines (see docs/TESTING.md)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; the case sequence is a pure function of it "
+        "(default: 0)",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=60.0, metavar="SECONDS",
+        help="wall-clock budget for the campaign (default: 60)",
+    )
+    fuzz.add_argument(
+        "--max-cases", type=int, default=None, metavar="N",
+        help="stop after N cases even with budget left",
+    )
+    fuzz.add_argument(
+        "--corpus", type=str, default=None, metavar="DIR",
+        help="replay every *.json spec in DIR before (or instead of) "
+        "fuzzing; exits nonzero on any replay disagreement",
+    )
+    fuzz.add_argument(
+        "--replay-only", action="store_true",
+        help="with --corpus: replay the corpus and skip random generation",
+    )
+    fuzz.add_argument(
+        "--artifacts", type=str, default="fuzz-artifacts", metavar="DIR",
+        help="where shrunk JSON + pytest repros of failures land "
+        "(default: ./fuzz-artifacts)",
+    )
     return parser
 
 
@@ -252,6 +285,54 @@ def _cmd_roofline(kernels: List[str], platform_name: str) -> int:
     return 0
 
 
+def _cmd_fuzz(
+    seed: int,
+    time_budget: float,
+    max_cases: Optional[int],
+    corpus: Optional[str],
+    replay_only: bool,
+    artifacts: str,
+) -> int:
+    from pathlib import Path
+
+    from repro.verify import fuzz, replay_corpus
+
+    exit_code = 0
+    if corpus is not None:
+        replayed = replay_corpus(Path(corpus))
+        bad = [(path, r) for path, r in replayed if not r.ok]
+        print(
+            f"corpus replay: {len(replayed)} spec(s), "
+            f"{len(bad)} disagreement(s)"
+        )
+        for path, result in bad:
+            print(f"  {path.name}:")
+            for disagreement in result.disagreements:
+                print(f"    {disagreement}")
+        if bad:
+            exit_code = 1
+        if replay_only:
+            return exit_code
+
+    stats = fuzz(
+        seed=seed,
+        time_budget_s=time_budget,
+        max_cases=max_cases,
+        artifacts_dir=Path(artifacts),
+        log=print,
+    )
+    print(
+        f"fuzz seed={seed}: {stats.cases_run} case(s) in "
+        f"{stats.elapsed_s:.1f}s, {stats.symbolic_supported} "
+        f"symbolic-supported, {len(stats.failures)} failure(s)"
+    )
+    for failure in stats.failures:
+        print(f"  case {failure.index}: {failure.reason()}")
+        if failure.json_path is not None:
+            print(f"    repro: {failure.json_path} / {failure.pytest_path}")
+    return 1 if stats.failures else exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -276,6 +357,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args.kernel, args.platform)
     if args.command == "roofline":
         return _cmd_roofline(args.kernels, args.platform)
+    if args.command == "fuzz":
+        return _cmd_fuzz(
+            args.seed, args.time_budget, args.max_cases,
+            args.corpus, args.replay_only, args.artifacts,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,66 @@
+"""Generative differential verification for the PolyUFC-CM engines.
+
+The package is the repo's correctness backstop: a seeded random
+affine-kernel generator (:mod:`repro.verify.generator`) samples the
+supported IR class, a differential + metamorphic oracle
+(:mod:`repro.verify.oracle`) runs every case through the reference,
+fast, and symbolic engines plus the memo and degradation paths, and a
+greedy shrinker (:mod:`repro.verify.shrinker`) minimizes any failure
+into a paste-able repro.  :mod:`repro.verify.harness` drives campaigns
+(``python -m repro.cli fuzz``) and replays the checked-in corpus
+(``tests/corpus/``).  See docs/TESTING.md for the test-tier map.
+"""
+
+from repro.verify.generator import (
+    AccessSpec,
+    BufferSpec,
+    KernelSpec,
+    LevelSpec,
+    LoopSpec,
+    StatementSpec,
+    build_hierarchy,
+    build_module,
+    fit_buffers,
+    generate_spec,
+    iteration_count,
+    rename_dims,
+    spec_from_json,
+    spec_to_json,
+    spec_to_pytest,
+)
+from repro.verify.oracle import CaseResult, Disagreement, run_case
+from repro.verify.shrinker import shrink
+from repro.verify.harness import (
+    FuzzFailure,
+    FuzzStats,
+    fuzz,
+    replay_corpus,
+    write_failure_artifacts,
+)
+
+__all__ = [
+    "AccessSpec",
+    "BufferSpec",
+    "KernelSpec",
+    "LevelSpec",
+    "LoopSpec",
+    "StatementSpec",
+    "build_hierarchy",
+    "build_module",
+    "fit_buffers",
+    "generate_spec",
+    "iteration_count",
+    "rename_dims",
+    "spec_from_json",
+    "spec_to_json",
+    "spec_to_pytest",
+    "CaseResult",
+    "Disagreement",
+    "run_case",
+    "shrink",
+    "FuzzFailure",
+    "FuzzStats",
+    "fuzz",
+    "replay_corpus",
+    "write_failure_artifacts",
+]

@@ -1,0 +1,147 @@
+"""Fuzz campaign driver and corpus replay.
+
+:func:`fuzz` runs the generate -> oracle -> shrink loop under a seed and
+a wall-clock budget; :func:`replay_corpus` re-runs checked-in JSON specs
+(``tests/corpus/``) as a deterministic regression suite.  Every failure
+is shrunk and written out twice -- a JSON spec (machine-replayable, and
+the file to check into the corpus) and a paste-able pytest module -- so
+a red fuzz run always leaves a one-file repro behind.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.verify.generator import (
+    KernelSpec,
+    generate_spec,
+    spec_from_json,
+    spec_to_json,
+    spec_to_pytest,
+)
+from repro.verify.oracle import CaseResult, run_case
+from repro.verify.shrinker import shrink
+
+#: Oracle used by :func:`fuzz`; module-level so the off-by-one demo and
+#: future engine experiments can substitute an instrumented battery.
+Oracle = Callable[[KernelSpec], CaseResult]
+
+
+@dataclass
+class FuzzFailure:
+    """One disagreement found by a campaign, with its shrunk repro."""
+
+    index: int
+    original: KernelSpec
+    shrunk: KernelSpec
+    result: CaseResult
+    json_path: Optional[Path] = None
+    pytest_path: Optional[Path] = None
+
+    def reason(self) -> str:
+        return "; ".join(str(d) for d in self.result.disagreements)
+
+
+@dataclass
+class FuzzStats:
+    """Summary of one fuzz campaign."""
+
+    seed: int
+    cases_run: int = 0
+    symbolic_supported: int = 0
+    elapsed_s: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _artifact_stem(spec: KernelSpec, index: int) -> str:
+    return f"fuzz_seed{spec.seed}_case{index}_{spec.fingerprint()}"
+
+
+def write_failure_artifacts(
+    failure: FuzzFailure, artifacts_dir: Path
+) -> None:
+    """Persist the shrunk JSON spec + pytest repro for one failure."""
+    artifacts_dir.mkdir(parents=True, exist_ok=True)
+    stem = _artifact_stem(failure.shrunk, failure.index)
+    json_path = artifacts_dir / f"{stem}.json"
+    pytest_path = artifacts_dir / f"test_{stem}.py"
+    json_path.write_text(spec_to_json(failure.shrunk) + "\n")
+    pytest_path.write_text(spec_to_pytest(failure.shrunk, failure.reason()))
+    failure.json_path = json_path
+    failure.pytest_path = pytest_path
+
+
+def fuzz(
+    seed: int,
+    time_budget_s: float = 60.0,
+    max_cases: Optional[int] = None,
+    artifacts_dir: Optional[Path] = None,
+    oracle: Oracle = run_case,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzStats:
+    """Run one seeded campaign: generate, check, shrink, persist.
+
+    The case sequence is fully determined by ``seed``; the budget and
+    ``max_cases`` only decide how far along it the campaign walks, so
+    re-running with the same seed replays the same cases in order.
+    """
+    stats = FuzzStats(seed=seed)
+    say = log or (lambda _msg: None)
+    started = time.monotonic()
+    index = 0
+    while True:
+        if max_cases is not None and index >= max_cases:
+            break
+        if time.monotonic() - started >= time_budget_s:
+            break
+        spec = generate_spec(seed, index)
+        result = oracle(spec)
+        stats.cases_run += 1
+        if result.symbolic_supported:
+            stats.symbolic_supported += 1
+        if not result.ok:
+            say(
+                f"case {index}: {len(result.disagreements)} "
+                f"disagreement(s); shrinking"
+            )
+            failing_checks = {d.check for d in result.disagreements}
+
+            def still_fails(candidate: KernelSpec) -> bool:
+                verdict = oracle(candidate)
+                return any(
+                    d.check in failing_checks
+                    for d in verdict.disagreements
+                )
+
+            shrunk = shrink(spec, still_fails)
+            failure = FuzzFailure(index, spec, shrunk, oracle(shrunk))
+            if artifacts_dir is not None:
+                write_failure_artifacts(failure, artifacts_dir)
+                say(f"case {index}: repro written to {failure.json_path}")
+            stats.failures.append(failure)
+        index += 1
+    stats.elapsed_s = time.monotonic() - started
+    return stats
+
+
+def replay_corpus(
+    corpus_dir: Path,
+    oracle: Oracle = run_case,
+) -> List[Tuple[Path, CaseResult]]:
+    """Re-run every ``*.json`` spec under ``corpus_dir`` through the oracle.
+
+    Returns ``(path, result)`` pairs sorted by file name so the replay
+    order -- and therefore any failure output -- is deterministic.
+    """
+    results: List[Tuple[Path, CaseResult]] = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        spec = spec_from_json(path.read_text())
+        results.append((path, oracle(spec)))
+    return results

@@ -1,0 +1,90 @@
+"""repro.experiments.summarize: the EXPERIMENTS.md regeneration path."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import summarize
+
+
+@dataclass
+class _FakeReport:
+    boundedness: str
+
+
+@dataclass
+class _FakeSequence:
+    time_s: float
+    energy_j: float
+
+    @property
+    def edp(self):
+        return self.time_s * self.energy_j
+
+
+@dataclass
+class _FakeComparison:
+    baseline: _FakeSequence
+    capped: _FakeSequence
+
+    @property
+    def speedup(self):
+        return self.baseline.time_s / self.capped.time_s
+
+    @property
+    def energy_gain(self):
+        return self.baseline.energy_j / self.capped.energy_j
+
+    @property
+    def edp_gain(self):
+        return self.baseline.edp / self.capped.edp
+
+
+@pytest.fixture()
+def stubbed(monkeypatch):
+    kernels = ["alpha", "beta"]
+    monkeypatch.setattr(summarize, "paper22_names", lambda: list(kernels))
+    monkeypatch.setattr(summarize, "ml_benchmarks", lambda: ["gamma_ml"])
+    reports = {
+        "alpha": _FakeReport("CB"),
+        "beta": _FakeReport("BB"),
+        "gamma_ml": _FakeReport("BB"),
+    }
+    monkeypatch.setattr(
+        summarize,
+        "kernel_report",
+        lambda kernel, platform: reports[kernel],
+    )
+    monkeypatch.setattr(
+        summarize,
+        "baseline_comparison",
+        lambda kernel, platform: _FakeComparison(
+            baseline=_FakeSequence(2.0, 3.0),
+            capped=_FakeSequence(1.0, 2.0),
+        ),
+    )
+    return kernels
+
+
+def test_summarize_platform_prints_split_and_gains(stubbed, capsys):
+    summarize.summarize_platform("rpl")
+    out = capsys.readouterr().out
+    assert "1 CB / 1 BB" in out
+    for kernel in ("alpha", "beta", "gamma_ml"):
+        assert kernel in out
+    # speedup 2x -> +50.0%, EDP gain 3x -> +66.7%; geomean over the two
+    # PolyBench kernels is the same +66.7%.
+    assert "+50.0%" in out
+    assert "geomean EDP improvement: +66.7%" in out
+
+
+def test_summarize_main_selects_platforms(stubbed, monkeypatch, capsys):
+    seen = []
+    monkeypatch.setattr(
+        summarize, "summarize_platform", lambda name: seen.append(name)
+    )
+    assert summarize.main(["rpl"]) == 0
+    assert seen == ["rpl"]
+    seen.clear()
+    assert summarize.main([]) == 0
+    assert seen == ["rpl", "bdw"]

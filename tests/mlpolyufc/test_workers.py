@@ -38,6 +38,61 @@ def test_workers_preserve_order_and_results():
         assert str(left.boundedness) == str(right.boundedness)
 
 
+def _edge_nest(extent_i: int, extent_j: int):
+    """A tiny read-modify-write nest with configurable trip counts."""
+    from repro.ir import F64, Module
+    from repro.ir.builder import AffineBuilder
+
+    module = Module(f"edge_{extent_i}x{extent_j}")
+    array = module.add_buffer("A", (16,), F64)
+    builder = AffineBuilder(module)
+    with builder.loop("i", 0, extent_i):
+        with builder.loop("j", 0, extent_j):
+            value = builder.add(
+                builder.load(array, ["i"]), builder.const(1.0)
+            )
+            builder.store(value, array, ["i"])
+    return module
+
+
+def test_empty_iteration_domain_characterizes_compute_bound():
+    """Zero-trip nests must yield a clean unit, not a crash or a NaN.
+
+    With no billable traffic the unit characterizes compute-bound with
+    infinite OI and an all-zero cache model, on every engine and worker
+    width.
+    """
+    platform = get_platform("rpl")
+    constants = get_constants(platform)
+    module = _edge_nest(0, 5)
+    for engine in ("fast", "reference", "symbolic"):
+        clear_memo()
+        units = characterize_units(
+            module, platform, constants, engine=engine
+        )
+        assert len(units) == 1
+        unit = units[0]
+        assert unit.omega == 0
+        assert unit.oi_fpb == float("inf")
+        assert str(unit.boundedness) == "CB"
+        assert unit.cm.total_accesses == 0
+        assert unit.degraded == "exact"
+
+
+def test_single_iteration_nest_is_deterministic_across_workers():
+    platform = get_platform("rpl")
+    constants = get_constants(platform)
+    module = _edge_nest(1, 1)
+    serial = characterize_units(module, platform, constants, workers=1)
+    clear_memo()
+    parallel = characterize_units(module, platform, constants, workers=4)
+    assert len(serial) == len(parallel) == 1
+    assert serial[0].cm == parallel[0].cm
+    assert serial[0].omega == parallel[0].omega == 1
+    assert serial[0].cm.total_accesses == 2  # one load + one store
+    assert serial[0].degraded == "exact"
+
+
 def test_resolve_workers(monkeypatch):
     assert resolve_workers(3) == 3
     assert resolve_workers(0) == 1

@@ -1,0 +1,77 @@
+"""Harness: deterministic campaigns, failure artifacts, CLI wiring."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.verify import fuzz, run_case, spec_from_json
+from repro.verify.oracle import Disagreement
+
+SMOKE_CASES = 15
+
+
+def test_fixed_seed_smoke_has_zero_disagreements():
+    stats = fuzz(seed=0, time_budget_s=300.0, max_cases=SMOKE_CASES)
+    assert stats.cases_run == SMOKE_CASES
+    assert stats.ok, [f.reason() for f in stats.failures]
+    assert 0 < stats.symbolic_supported < SMOKE_CASES
+
+
+def test_campaign_is_deterministic():
+    first = fuzz(seed=5, time_budget_s=300.0, max_cases=8)
+    second = fuzz(seed=5, time_budget_s=300.0, max_cases=8)
+    assert first.cases_run == second.cases_run == 8
+    assert first.symbolic_supported == second.symbolic_supported
+
+
+def _flaky_oracle(spec):
+    """Fails every case whose trace touches more than a handful of lines."""
+    result = run_case(spec)
+    if result.trace_length > 30:
+        result.disagreements.append(
+            Disagreement("engine-diff", "synthetic failure for testing")
+        )
+    return result
+
+
+def test_failures_are_shrunk_and_written_as_artifacts(tmp_path):
+    stats = fuzz(
+        seed=0,
+        time_budget_s=300.0,
+        max_cases=10,
+        artifacts_dir=tmp_path,
+        oracle=_flaky_oracle,
+    )
+    assert stats.failures, "synthetic oracle never tripped in 10 cases"
+    failure = stats.failures[0]
+    # Shrinking kept the failure but never grew the kernel.
+    assert _flaky_oracle(failure.shrunk).disagreements
+    assert failure.json_path is not None and failure.json_path.exists()
+    assert failure.pytest_path is not None and failure.pytest_path.exists()
+    # The JSON artifact round-trips to the shrunk spec.
+    assert spec_from_json(failure.json_path.read_text()) == failure.shrunk
+    # The pytest artifact embeds the same spec.
+    assert failure.shrunk.name in failure.pytest_path.read_text()
+
+
+def test_max_cases_and_budget_both_bound_the_campaign():
+    by_cases = fuzz(seed=0, time_budget_s=300.0, max_cases=3)
+    assert by_cases.cases_run == 3
+    by_budget = fuzz(seed=0, time_budget_s=0.0)
+    assert by_budget.cases_run == 0
+
+
+def test_cli_fuzz_smoke(tmp_path):
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "fuzz",
+            "--seed", "0", "--max-cases", "10",
+            "--artifacts", str(tmp_path / "artifacts"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=str(Path(__file__).resolve().parents[2]),
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 failure(s)" in proc.stdout
