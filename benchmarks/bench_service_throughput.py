@@ -1,0 +1,170 @@
+"""Service throughput benchmark: batched service vs sequential pipeline.
+
+Replays a 200-request mixed PolyBench+ML batch (60% repeated specs --
+the fleet-characterization shape from docs/SERVICE.md) two ways:
+
+* **baseline** -- today's one-shot entrypoint behaviour: every request
+  runs the pipeline sequentially with cold caches (no store, CM memo
+  cleared per request);
+* **service** -- one ``ServiceClient`` over a fresh result store:
+  in-flight dedup collapses repeats, the content-addressed store serves
+  revisits, and jobs differing only in objective/epsilon share the
+  hardware-side workload objects.
+
+Results land in ``BENCH_service.json`` at the repo root (referenced from
+docs/PERFORMANCE.md)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as platform_mod
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cache.memo import clear_memo
+from repro.service import JobSpec, ServiceClient
+from repro.service.events import ListSink
+from repro.service.executor import execute_report
+
+#: The kernel pool: PolyBench cores plus the cheap ML kernels (the
+#: expensive ML matmuls would dominate wall-clock without changing the
+#: dedup/sharing story this benchmark measures).
+FULL_KERNELS = [
+    "atax", "bicg", "gemm", "gemver", "gesummv", "mvt", "trisolv",
+    "doitgen", "2mm", "3mm",
+    "sdpa_gemma2", "conv2d_convnext",
+]
+SMOKE_KERNELS = ["atax", "trisolv", "sdpa_gemma2"]
+
+OBJECTIVES = ["edp", "energy", "performance"]
+EPSILONS = [1e-4, 1e-3, 1e-2]
+
+
+def build_requests(kernels, total, repeat_fraction, seed):
+    """A shuffled request list with ``repeat_fraction`` exact repeats.
+
+    Uniques are sampled from the finite kernel x objective x epsilon
+    pool (the target is clamped to the pool size -- objective/epsilon
+    variants share a workload digest, so this is also what exercises
+    the two-level store).
+    """
+    rng = random.Random(seed)
+    unique_target = max(1, int(round(total * (1.0 - repeat_fraction))))
+    pool = [
+        JobSpec(
+            benchmark=kernel, platform="rpl",
+            objective=objective, epsilon=epsilon,
+        )
+        for kernel in kernels
+        for objective in OBJECTIVES
+        for epsilon in EPSILONS
+    ]
+    unique = rng.sample(pool, min(unique_target, len(pool)))
+    requests = list(unique)
+    while len(requests) < total:
+        requests.append(rng.choice(unique))
+    rng.shuffle(requests)
+    return requests, len(unique)
+
+
+def run_baseline(requests):
+    """Sequential cold pipeline calls (today's one-shot entrypoints)."""
+    started = time.perf_counter()
+    for index, spec in enumerate(requests):
+        clear_memo()
+        execute_report(spec, store=None)
+        done = index + 1
+        if done % 20 == 0:
+            print(f"  baseline {done}/{len(requests)}", flush=True)
+    return time.perf_counter() - started
+
+
+def run_service(requests, store_dir):
+    sink = ListSink(maxlen=100_000)
+    started = time.perf_counter()
+    with ServiceClient(store=store_dir, sink=sink) as client:
+        jobs = client.submit_batch(requests)
+        reports = client.wait_all(jobs)
+    elapsed = time.perf_counter() - started
+    assert len(reports) == len(requests)
+    assert all(report.fully_exact for report in reports)
+    return elapsed, dict(sink.counts())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (20 requests, no JSON update)")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output", default=None,
+        help="result JSON path (default: BENCH_service.json at repo "
+        "root; smoke runs print only)",
+    )
+    args = parser.parse_args(argv)
+
+    total = args.requests or (20 if args.smoke else 200)
+    kernels = SMOKE_KERNELS if args.smoke else FULL_KERNELS
+    requests, unique = build_requests(
+        kernels, total, repeat_fraction=0.6, seed=args.seed
+    )
+    print(
+        f"{total} requests over {len(kernels)} kernels, "
+        f"{unique} unique specs ({100 * (1 - unique / total):.0f}% repeats)"
+    )
+
+    print("service pass (batched, dedup + store + workload sharing):")
+    with tempfile.TemporaryDirectory(prefix="polyufc-bench-store-") as tmp:
+        clear_memo()
+        service_s, events = run_service(requests, Path(tmp) / "store")
+    print(f"  {service_s:.1f}s  events={events}")
+
+    print("baseline pass (sequential cold pipeline calls):")
+    clear_memo()
+    baseline_s = run_baseline(requests)
+    print(f"  {baseline_s:.1f}s")
+
+    speedup = baseline_s / service_s
+    print(f"speedup: {speedup:.1f}x (target >= 5x)")
+
+    payload = {
+        "host": {
+            "machine": platform_mod.machine(),
+            "python": platform_mod.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "smoke": args.smoke,
+        "requests": total,
+        "unique_specs": unique,
+        "repeat_fraction": round(1 - unique / total, 3),
+        "kernels": kernels,
+        "seed": args.seed,
+        "baseline_s": round(baseline_s, 2),
+        "service_s": round(service_s, 2),
+        "speedup": round(speedup, 2),
+        "events": events,
+    }
+    if args.output or not args.smoke:
+        out = Path(
+            args.output
+            or Path(__file__).resolve().parents[1] / "BENCH_service.json"
+        )
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0 if speedup >= 5.0 or args.smoke else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ Commands:
 * ``sweep <kernel>`` -- time/energy/EDP across the uncore range
 * ``roofline <kernels...>`` -- ASCII roofline plot with kernels placed on it
 * ``fuzz`` -- generative differential verification of the CM engines
+* ``serve`` -- run the characterization service over HTTP (docs/SERVICE.md)
+* ``submit <kernels...>`` -- batch-characterize via the service (local or --url)
+* ``status <job-id> --url`` -- poll one job on a running server
+* ``query`` -- range queries over the content-addressed result store
 """
 
 from __future__ import annotations
@@ -132,6 +136,111 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts", type=str, default="fuzz-artifacts", metavar="DIR",
         help="where shrunk JSON + pytest repros of failures land "
         "(default: ./fuzz-artifacts)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the characterization service over HTTP"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default: 8177; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store root (default: $REPRO_STORE_DIR / "
+        "$REPRO_CACHE_DIR/store; honours REPRO_NO_CACHE=1)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="scheduler pool width (default: $REPRO_CM_WORKERS or serial)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="handle exactly one request then exit (smoke tests)",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here (for scripts using --port 0)",
+    )
+
+    submit = commands.add_parser(
+        "submit", help="batch-characterize kernels through the service"
+    )
+    submit.add_argument("kernels", nargs="+")
+    _add_platform(submit)
+    submit.add_argument(
+        "--granularity", default="linalg",
+        choices=["torch", "linalg", "affine"],
+    )
+    submit.add_argument(
+        "--objective", action="append", default=None,
+        choices=["edp", "energy", "performance"],
+        help="objective(s); repeatable, default edp",
+    )
+    submit.add_argument(
+        "--url", default=None, metavar="URL",
+        help="POST to a running server instead of running in process",
+    )
+    submit.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="(local mode) result-store root override",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="(with --url) enqueue and print job ids without blocking",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="max seconds to wait for the batch (default: 300)",
+    )
+    _add_cm_knobs(submit)
+
+    status = commands.add_parser(
+        "status", help="show one job's state on a running server"
+    )
+    status.add_argument("job_id")
+    status.add_argument(
+        "--url", required=True, metavar="URL",
+        help="base URL of a running `repro.cli serve`",
+    )
+
+    query = commands.add_parser(
+        "query", help="range-query the content-addressed result store"
+    )
+    query.add_argument("--benchmark", default=None)
+    query.add_argument(
+        "--platform", "-p", default=None, choices=["rpl", "bdw"]
+    )
+    query.add_argument(
+        "--objective", default=None,
+        choices=["edp", "energy", "performance"],
+    )
+    query.add_argument(
+        "--boundedness", default=None, choices=["CB", "BB"]
+    )
+    query.add_argument(
+        "--engine", default=None, choices=list(CM_ENGINES)
+    )
+    query.add_argument(
+        "--cap-below", type=float, default=None, metavar="GHZ",
+        help="only entries whose lowest unit cap is below GHZ",
+    )
+    query.add_argument(
+        "--cap-above", type=float, default=None, metavar="GHZ",
+        help="only entries whose highest unit cap is above GHZ",
+    )
+    query.add_argument("--limit", type=int, default=None, metavar="N")
+    query.add_argument(
+        "--url", default=None, metavar="URL",
+        help="query a running server instead of the local store",
+    )
+    query.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="(local mode) result-store root override",
     )
     return parser
 
@@ -333,6 +442,176 @@ def _cmd_fuzz(
     return 1 if stats.failures else exit_code
 
 
+def _cmd_serve(
+    host: str,
+    port: Optional[int],
+    store: Optional[str],
+    workers: Optional[int],
+    once: bool,
+    port_file: Optional[str],
+) -> int:
+    from repro.service import serve
+    from repro.service.http import DEFAULT_PORT
+
+    return serve(
+        host=host,
+        port=DEFAULT_PORT if port is None else port,
+        once=once,
+        port_file=port_file,
+        store=store,
+        workers=workers,
+    )
+
+
+def _cmd_submit(args) -> int:
+    specs = [
+        {
+            "benchmark": kernel,
+            "platform": args.platform,
+            "granularity": args.granularity,
+            "objective": objective,
+            "engine": args.cm_engine,
+            "cm_timeout_s": args.cm_timeout,
+        }
+        for kernel in args.kernels
+        for objective in (args.objective or ["edp"])
+    ]
+
+    if args.url is not None:
+        from repro.service import request_json
+
+        code, body = request_json(
+            args.url.rstrip("/") + "/v1/jobs",
+            {
+                "specs": specs,
+                "wait": not args.no_wait,
+                "timeout_s": args.timeout,
+            },
+            timeout_s=args.timeout + 30.0,
+        )
+        if code != 200:
+            print(f"error: {body.get('error', body)}", file=sys.stderr)
+            return 2 if code == 400 else 1
+        failed = 0
+        for row in body["jobs"]:
+            caps = ""
+            report = row.get("report")
+            if report is not None:
+                caps = " caps=" + ",".join(
+                    f"{unit['cap_ghz']:.1f}" for unit in report["units"]
+                )
+            if row.get("error"):
+                failed += 1
+                caps = f" error={row['error']}"
+            print(
+                f"{row['job_id']} {row['benchmark']}/{row['objective']} "
+                f"{row['state']} source={row.get('source')}{caps}"
+            )
+        return 1 if failed else 0
+
+    from repro.service import ServiceClient
+
+    try:
+        with ServiceClient(
+            store=args.store if args.store is not None else None,
+            workers=args.workers,
+        ) as client:
+            jobs = client.submit_batch(specs)
+            failed = 0
+            for job in jobs:
+                try:
+                    report = job.result(args.timeout)
+                    caps = ",".join(f"{cap:.1f}" for cap in report.caps())
+                    suffix = f"caps={caps}"
+                    if not report.fully_exact:
+                        suffix += (
+                            " degraded="
+                            + ",".join(report.degraded_units)
+                        )
+                except Exception as exc:
+                    failed += 1
+                    suffix = f"error={exc}"
+                row = client.status(job.job_id)
+                print(
+                    f"{job.job_id} {job.spec.benchmark}/"
+                    f"{job.spec.objective} {row['state']} "
+                    f"source={row['source']} {suffix}"
+                )
+        return 1 if failed else 0
+    except ValueError as exc:  # malformed spec (unknown kernel, ...)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_status(job_id: str, url: str) -> int:
+    import json
+
+    from repro.service import request_json
+
+    code, body = request_json(url.rstrip("/") + f"/v1/jobs/{job_id}")
+    if code == 404:
+        print(f"error: {body.get('error', 'unknown job')}", file=sys.stderr)
+        return 1
+    if code != 200:
+        print(f"error: {body.get('error', body)}", file=sys.stderr)
+        return 1
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    filters = {
+        "benchmark": args.benchmark,
+        "platform": args.platform,
+        "objective": args.objective,
+        "boundedness": args.boundedness,
+        "engine": args.engine,
+        "cap_below": args.cap_below,
+        "cap_above": args.cap_above,
+        "limit": args.limit,
+    }
+    filters = {key: val for key, val in filters.items() if val is not None}
+
+    if args.url is not None:
+        from repro.service import request_json
+
+        query_string = "&".join(f"{k}={v}" for k, v in filters.items())
+        code, body = request_json(
+            args.url.rstrip("/") + "/v1/query"
+            + (f"?{query_string}" if query_string else "")
+        )
+        if code != 200:
+            print(f"error: {body.get('error', body)}", file=sys.stderr)
+            return 2 if code == 400 else 1
+        rows = body["rows"]
+    else:
+        from repro.service.store import ResultStore
+
+        store = ResultStore(args.store) if args.store else ResultStore()
+        try:
+            rows = store.query(**filters)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    print(
+        f"{'benchmark':<20}{'platform':>10}{'objective':>12}{'class':>6}"
+        f"{'units':>6}{'min-cap':>8}{'engine':>10}"
+    )
+    for row in rows:
+        min_cap = (
+            f"{row['min_cap_ghz']:.1f}"
+            if row["min_cap_ghz"] is not None else "-"
+        )
+        print(
+            f"{row['benchmark']:<20}{row['platform']:>10}"
+            f"{row['objective']:>12}{row['boundedness']:>6}"
+            f"{row['units']:>6}{min_cap:>8}{row['engine']:>10}"
+        )
+    print(f"{len(rows)} result(s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -362,6 +641,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.seed, args.time_budget, args.max_cases,
             args.corpus, args.replay_only, args.artifacts,
         )
+    if args.command == "serve":
+        return _cmd_serve(
+            args.host, args.port, args.store, args.workers,
+            args.once, args.port_file,
+        )
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args.job_id, args.url)
+    if args.command == "query":
+        return _cmd_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -3,7 +3,14 @@
 ``kernel_report`` runs the full PolyUFC flow on one benchmark for one
 platform and attaches, per capping unit, both the model-side numbers
 (PolyUFC-CM counters, OI, CB/BB, selected cap) and the hardware-side
-workload (exact cache-simulator counters), all cached to disk as JSON.
+workload (exact cache-simulator counters).  Since the service PR it is a
+thin synchronous wrapper over :mod:`repro.service`: the request becomes
+a content-addressed :class:`~repro.service.JobSpec`, results are served
+from (and persisted to) the shared
+:class:`~repro.service.store.ResultStore`, and the computation itself is
+:func:`repro.service.execute_report` -- the exact same path the batch
+scheduler and the HTTP front use.  ``REPRO_NO_CACHE=1`` disables
+persistence, ``REPRO_CACHE_DIR`` / ``REPRO_STORE_DIR`` relocate it.
 
 ``baseline_comparison`` and ``frequency_sweep`` then evaluate the cached
 workloads through the execution model -- those calls are cheap, so sweeps
@@ -12,46 +19,33 @@ and governor comparisons never re-run the expensive trace analyses.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import logging
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.benchsuite import get_benchmark
-from repro.cache.simulator import simulate_hierarchy
-from repro.cache.trace import generate_trace
-from repro.hw.execution import KernelWorkload, execute_fixed
+from repro.hw.execution import execute_fixed
 from repro.hw.governor import (
     GovernorConfig,
     SequenceResult,
     run_capped_sequence,
     run_governed_sequence,
 )
-from repro.hw.platform import PlatformSpec, get_platform
-from repro.mlpolyufc.characterization import DEGRADABLE_ERRORS
-from repro.pipeline import polyufc_compile
-from repro.runtime import (
-    CacheCorruption,
-    EngineFailure,
-    TransientIOError,
-    atomic_write_json,
-    read_checked_json,
-    resolve_timeout,
+from repro.hw.platform import get_platform
+from repro.mlpolyufc.reports import (  # re-exported for compatibility
+    REPORT_SCHEMA_VERSION,
+    KernelReport,
+    UnitReport,
 )
+from repro.runtime import resolve_timeout
 
 log = logging.getLogger("repro.runtime")
 
-# Bump to invalidate caches after model/platform changes.
-# v9: entries moved to the checksummed ``repro-envelope`` format and
-# units gained ``degraded``/``warning`` resilience metadata.
-CACHE_VERSION = 9
-
 
 def cache_dir() -> Path:
+    """The persistent-cache root (the service store lives under it)."""
     root = os.environ.get("REPRO_CACHE_DIR")
     path = Path(root) if root else Path(__file__).resolve().parents[3] / ".polyufc_cache"
     path.mkdir(parents=True, exist_ok=True)
@@ -60,159 +54,6 @@ def cache_dir() -> Path:
 
 def _cache_enabled() -> bool:
     return os.environ.get("REPRO_NO_CACHE", "") != "1"
-
-
-@dataclass
-class UnitReport:
-    """One capping unit: model-side and hardware-side numbers."""
-
-    name: str
-    omega: int
-    oi_fpb: float
-    boundedness: str
-    cap_ghz: float
-    parallel: bool
-    q_dram_model: int
-    level_accesses_hw: Tuple[int, ...]
-    dram_fetch_bytes_hw: int
-    dram_writeback_bytes_hw: int
-    dram_lines_hw: int
-    model_level_bytes: Tuple[int, ...]
-    model_dram_lines: int
-    cores_fraction: float
-    search_iterations: int
-    degraded: str = "exact"
-    warning: Optional[str] = None
-
-    def workload(self, threads: int) -> KernelWorkload:
-        """The hardware workload for the execution model."""
-        return KernelWorkload(
-            name=self.name,
-            flops=self.omega,
-            level_accesses=tuple(self.level_accesses_hw),
-            dram_fetch_bytes=self.dram_fetch_bytes_hw,
-            dram_writeback_bytes=self.dram_writeback_bytes_hw,
-            dram_lines=self.dram_lines_hw,
-            parallel=self.parallel,
-            threads=threads,
-        )
-
-    @property
-    def oi_hw(self) -> float:
-        total = self.dram_fetch_bytes_hw + self.dram_writeback_bytes_hw
-        return self.omega / total if total else float("inf")
-
-
-@dataclass
-class KernelReport:
-    """Full per-benchmark artifact."""
-
-    benchmark: str
-    platform: str
-    granularity: str
-    objective: str
-    set_associative: bool
-    balance_fpb: float = 0.0
-    units: List[UnitReport] = field(default_factory=list)
-    timings_ms: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_flops(self) -> int:
-        return sum(unit.omega for unit in self.units)
-
-    @property
-    def total_q_dram_model(self) -> int:
-        return sum(unit.q_dram_model for unit in self.units)
-
-    @property
-    def oi_model(self) -> float:
-        q = self.total_q_dram_model
-        return self.total_flops / q if q else float("inf")
-
-    @property
-    def degraded_units(self) -> List[str]:
-        """Names of units that did not characterize exactly."""
-        return [unit.name for unit in self.units if unit.degraded != "exact"]
-
-    @property
-    def fully_exact(self) -> bool:
-        return not self.degraded_units
-
-    @property
-    def boundedness(self) -> str:
-        """Whole-kernel label: aggregate OI against the fitted balance."""
-        if self.balance_fpb > 0:
-            return "CB" if self.oi_model >= self.balance_fpb else "BB"
-        weights: Dict[str, float] = {"CB": 0.0, "BB": 0.0}
-        for unit in self.units:
-            weight = max(unit.omega, unit.q_dram_model)
-            weights[unit.boundedness] += weight
-        return "CB" if weights["CB"] >= weights["BB"] else "BB"
-
-    def caps(self) -> List[float]:
-        return [unit.cap_ghz for unit in self.units]
-
-
-def _report_key(
-    benchmark: str, platform: str, granularity: str, objective: str,
-    set_associative: bool, tile_size: int, epsilon: float,
-    cap_overhead_factor: float = 50.0,
-) -> str:
-    blob = json.dumps(
-        [CACHE_VERSION, benchmark, platform, granularity, objective,
-         set_associative, tile_size, epsilon, cap_overhead_factor],
-        sort_keys=True,
-    )
-    return hashlib.sha256(blob.encode()).hexdigest()[:20]
-
-
-_REPORT_KEYS = (
-    "benchmark", "platform", "granularity", "objective",
-    "set_associative", "timings_ms", "units",
-)
-
-
-def _load_cached_report(path: Path) -> Optional[KernelReport]:
-    """One hardened report-cache read.
-
-    Corrupted, truncated or schema-drifted entries are quarantined by the
-    envelope reader (or here, when the envelope validates but the unit
-    shape drifted) and ``None`` is returned so the caller recomputes.
-    """
-    from repro.runtime import quarantine_file
-
-    try:
-        data = read_checked_json(
-            path, fault_site="report.read", required_keys=_REPORT_KEYS
-        )
-    except FileNotFoundError:
-        return None
-    except CacheCorruption:
-        return None  # already quarantined + logged
-    except (TransientIOError, EngineFailure) as exc:
-        log.warning(
-            "report read of %s kept failing (%s); recomputing", path, exc
-        )
-        return None
-    try:
-        report = KernelReport(
-            benchmark=data["benchmark"],
-            platform=data["platform"],
-            granularity=data["granularity"],
-            objective=data["objective"],
-            set_associative=data["set_associative"],
-            balance_fpb=data.get("balance_fpb", 0.0),
-            timings_ms=data["timings_ms"],
-        )
-        for unit in data["units"]:
-            unit["level_accesses_hw"] = tuple(unit["level_accesses_hw"])
-            unit["model_level_bytes"] = tuple(unit["model_level_bytes"])
-            report.units.append(UnitReport(**unit))
-    except (KeyError, TypeError, ValueError) as exc:
-        log.warning("report entry %s has drifted schema (%s)", path, exc)
-        quarantine_file(path)
-        return None
-    return report
 
 
 def kernel_report(
@@ -229,114 +70,41 @@ def kernel_report(
     cm_engine: Optional[str] = None,
     cm_timeout_s: Optional[float] = None,
 ) -> KernelReport:
-    """Compile one benchmark for one platform; heavy results are cached.
+    """Compile one benchmark for one platform; results are store-backed.
 
-    ``workers``/``cm_engine`` tune *how* the cache model runs (thread
-    pool width, fast vs reference engine); they never change the numbers,
-    so they are deliberately not part of the disk-cache key.
+    ``workers`` tunes *how* the cache model runs (thread pool width); it
+    never changes the numbers and is not part of the content digest.
     ``cm_timeout_s`` (default ``$REPRO_CM_TIMEOUT_S``) bounds the
     PolyUFC-CM stage; reports containing degraded units are returned but
-    never persisted, so a transient timeout cannot poison the cache.
+    never persisted (store policy), so a transient timeout cannot poison
+    the cache.
     """
-    cm_timeout_s = resolve_timeout(cm_timeout_s)
-    key = _report_key(
-        benchmark, platform, granularity, objective, set_associative,
-        tile_size, epsilon, cap_overhead_factor,
-    )
-    path = cache_dir() / f"report_{benchmark}_{platform}_{key}.json"
-    if use_cache and _cache_enabled() and path.exists():
-        cached = _load_cached_report(path)
-        if cached is not None:
-            return cached
+    from repro.service import JobSpec, ResultStore, execute_report
 
-    spec = get_benchmark(benchmark)
-    plat = get_platform(platform)
-    result = polyufc_compile(
-        spec.module(),
-        plat,
+    spec = JobSpec(
+        benchmark=benchmark,
+        platform=platform,
         granularity=granularity,
         objective=objective,
+        set_associative=set_associative,
         tile_size=tile_size,
         epsilon=epsilon,
-        set_associative=set_associative,
         cap_overhead_factor=cap_overhead_factor,
+        engine=cm_engine,
+    )
+    store = ResultStore() if _cache_enabled() else None
+    if store is not None and use_cache:
+        cached = store.get_report(spec.digest())
+        if cached is not None:
+            return cached
+    report = execute_report(
+        spec,
+        store=store if use_cache else None,
         workers=workers,
-        cm_engine=cm_engine,
-        cm_timeout_s=cm_timeout_s,
+        cm_timeout_s=resolve_timeout(cm_timeout_s),
     )
-    report = KernelReport(
-        benchmark=benchmark,
-        platform=plat.name,
-        granularity=granularity,
-        objective=objective,
-        set_associative=set_associative,
-        balance_fpb=result.constants.b_t_dram,
-        timings_ms={
-            "preprocess": result.timings.preprocess_ms,
-            "pluto": result.timings.pluto_ms,
-            "polyufc_cm": result.timings.polyufc_cm_ms,
-            "steps_4_6": result.timings.steps_4_6_ms,
-        },
-    )
-    for unit, decision in zip(result.units, result.decisions):
-        degraded, warning = unit.degraded, unit.warning
-        sim = None
-        if degraded != "timeout-cap":
-            # The hardware-side workload needs the exact trace; guard it
-            # with the same per-unit isolation the CM side has -- a unit
-            # that cannot be simulated gets zero hardware counters, not a
-            # crashed report.
-            try:
-                trace = generate_trace(result.tiled_module, unit.ops)
-                sim = simulate_hierarchy(trace, plat.hierarchy)
-            except DEGRADABLE_ERRORS as exc:
-                log.warning(
-                    "hardware-side simulation of %s failed (%s); "
-                    "zero hardware counters", unit.name, exc,
-                )
-                warning = (warning + "; " if warning else "") + (
-                    f"hardware simulation failed: {exc}"
-                )
-        if sim is not None:
-            level_accesses_hw = tuple(
-                level.accesses for level in sim.levels
-            )
-            dram_fetch = sim.dram_fetch_bytes
-            dram_writeback = sim.dram_writeback_bytes
-            dram_lines = sim.llc.misses + sim.llc.writebacks
-        else:
-            level_accesses_hw = tuple(0 for _ in plat.hierarchy.levels)
-            dram_fetch = dram_writeback = dram_lines = 0
-        report.units.append(
-            UnitReport(
-                name=unit.name,
-                omega=unit.omega,
-                oi_fpb=float(unit.oi_fpb),
-                boundedness=str(unit.boundedness),
-                cap_ghz=decision.f_cap_ghz,
-                parallel=unit.parallel,
-                q_dram_model=unit.cm.q_dram_bytes,
-                level_accesses_hw=level_accesses_hw,
-                dram_fetch_bytes_hw=dram_fetch,
-                dram_writeback_bytes_hw=dram_writeback,
-                dram_lines_hw=dram_lines,
-                model_level_bytes=tuple(unit.summary.level_bytes),
-                model_dram_lines=unit.summary.dram_lines,
-                cores_fraction=unit.summary.cores_fraction,
-                search_iterations=decision.search.iterations,
-                degraded=degraded,
-                warning=warning,
-            )
-        )
-    if _cache_enabled() and report.fully_exact:
-        # Degraded reports are never persisted: a transient timeout or
-        # injected fault must not poison the cache for later exact runs.
-        try:
-            atomic_write_json(path, asdict(report), fault_site="report.write")
-        except (TransientIOError, EngineFailure) as exc:
-            log.warning(
-                "report write of %s failed (%s); continuing", path, exc
-            )
+    if store is not None:
+        store.put_report(spec, report)  # refuses degraded reports
     return report
 
 

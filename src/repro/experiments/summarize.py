@@ -41,18 +41,28 @@ def summarize_platform(platform_name: str) -> None:
     print("Fig. 7: PolyUFC vs UFS baseline")
     print(f"  {'kernel':<20}{'class':>6}{'time':>9}{'energy':>9}{'EDP':>9}")
     gains: List[float] = []
+    caveats: List[str] = []
     kernels = sorted(set(paper22_names()) | set(ml_benchmarks()))
     for kernel in kernels:
         report = kernel_report(kernel, platform_name)
         comparison = baseline_comparison(kernel, platform_name)
         if kernel in set(paper22_names()):
             gains.append(comparison.edp_gain)
+        for unit in report.units:
+            if unit.degraded != "exact" or unit.cm_note or unit.warning:
+                note = unit.cm_note or unit.warning or ""
+                caveats.append(
+                    f"{kernel}/{unit.name}: {unit.degraded}"
+                    + (f" ({note})" if note else "")
+                )
 
         def imp(gain: float) -> str:
             return f"{(1 - 1 / gain) * 100:+.1f}%"
 
+        # "*" flags kernels whose caps rest on degraded/annotated units.
+        flag = "*" if not report.fully_exact or report.noted_units else ""
         print(
-            f"  {kernel:<20}{report.boundedness:>6}"
+            f"  {kernel + flag:<20}{report.boundedness:>6}"
             f"{imp(comparison.speedup):>9}{imp(comparison.energy_gain):>9}"
             f"{imp(comparison.edp_gain):>9}"
         )
@@ -61,6 +71,10 @@ def summarize_platform(platform_name: str) -> None:
         f"  PolyBench geomean EDP improvement: "
         f"{(1 - 1 / geomean) * 100:+.1f}%"
     )
+    if caveats:
+        print("  * non-exact / annotated units:")
+        for line in caveats:
+            print(f"      {line}")
 
 
 def main(argv: List[str] = None) -> int:

@@ -13,12 +13,22 @@ from repro.mlpolyufc.characterization import (
 )
 from repro.mlpolyufc.phases import phase_string, phase_transitions
 from repro.mlpolyufc.capping import apply_caps, select_caps, aggregate_cap
+from repro.mlpolyufc.reports import (
+    REPORT_SCHEMA_VERSION,
+    KernelReport,
+    ReportSchemaError,
+    UnitReport,
+)
 from repro.mlpolyufc.rewrite import remove_redundant_caps
 
 __all__ = [
     "UnitCharacterization",
     "characterize_units",
     "group_affine_units",
+    "REPORT_SCHEMA_VERSION",
+    "KernelReport",
+    "ReportSchemaError",
+    "UnitReport",
     "phase_string",
     "phase_transitions",
     "apply_caps",

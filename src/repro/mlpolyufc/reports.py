@@ -1,0 +1,221 @@
+"""Per-kernel characterization reports and their versioned serialization.
+
+:class:`UnitReport` / :class:`KernelReport` are the persisted artifact of
+one PolyUFC run -- per capping unit, both the model-side numbers
+(PolyUFC-CM counters, OI, CB/BB, selected cap) and the hardware-side
+workload (exact cache-simulator counters), plus the resilience metadata
+(``degraded`` rung, ``warning``, engine ``cm_note``).
+
+Serialization is **versioned and lossless**: ``to_json``/``from_json``
+round-trip every field bit-for-bit, including the resilience metadata
+that the ad-hoc ``dataclasses.asdict`` path used to drop on the
+``cm_note`` side.  Everything that persists reports (the service result
+store, and through it ``repro.experiments.runner``) goes through this
+pair; a version mismatch raises :class:`ReportSchemaError` so stale
+entries are quarantined and recomputed, never silently reinterpreted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.execution import KernelWorkload
+
+#: Bump on any change to the report schema *or* to the models that
+#: produce its numbers (successor of the report cache's CACHE_VERSION
+#: lineage; v9 introduced the checksummed envelope + resilience
+#: metadata).  v10: reports are content-addressed service-store objects
+#: and units carry ``cm_note``.
+REPORT_SCHEMA_VERSION = 10
+
+
+class ReportSchemaError(ValueError):
+    """A serialized report does not match the current schema."""
+
+
+@dataclass
+class UnitReport:
+    """One capping unit: model-side and hardware-side numbers."""
+
+    name: str
+    omega: int
+    oi_fpb: float
+    boundedness: str
+    cap_ghz: float
+    parallel: bool
+    q_dram_model: int
+    level_accesses_hw: Tuple[int, ...]
+    dram_fetch_bytes_hw: int
+    dram_writeback_bytes_hw: int
+    dram_lines_hw: int
+    model_level_bytes: Tuple[int, ...]
+    model_dram_lines: int
+    cores_fraction: float
+    search_iterations: int
+    degraded: str = "exact"
+    warning: Optional[str] = None
+    cm_note: Optional[str] = None
+
+    def workload(self, threads: int) -> KernelWorkload:
+        """The hardware workload for the execution model."""
+        return KernelWorkload(
+            name=self.name,
+            flops=self.omega,
+            level_accesses=tuple(self.level_accesses_hw),
+            dram_fetch_bytes=self.dram_fetch_bytes_hw,
+            dram_writeback_bytes=self.dram_writeback_bytes_hw,
+            dram_lines=self.dram_lines_hw,
+            parallel=self.parallel,
+            threads=threads,
+        )
+
+    @property
+    def oi_hw(self) -> float:
+        total = self.dram_fetch_bytes_hw + self.dram_writeback_bytes_hw
+        return self.omega / total if total else float("inf")
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "omega": self.omega,
+            "oi_fpb": self.oi_fpb,
+            "boundedness": self.boundedness,
+            "cap_ghz": self.cap_ghz,
+            "parallel": self.parallel,
+            "q_dram_model": self.q_dram_model,
+            "level_accesses_hw": list(self.level_accesses_hw),
+            "dram_fetch_bytes_hw": self.dram_fetch_bytes_hw,
+            "dram_writeback_bytes_hw": self.dram_writeback_bytes_hw,
+            "dram_lines_hw": self.dram_lines_hw,
+            "model_level_bytes": list(self.model_level_bytes),
+            "model_dram_lines": self.model_dram_lines,
+            "cores_fraction": self.cores_fraction,
+            "search_iterations": self.search_iterations,
+            "degraded": self.degraded,
+            "warning": self.warning,
+            "cm_note": self.cm_note,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "UnitReport":
+        try:
+            return cls(
+                name=data["name"],
+                omega=data["omega"],
+                oi_fpb=data["oi_fpb"],
+                boundedness=data["boundedness"],
+                cap_ghz=data["cap_ghz"],
+                parallel=data["parallel"],
+                q_dram_model=data["q_dram_model"],
+                level_accesses_hw=tuple(data["level_accesses_hw"]),
+                dram_fetch_bytes_hw=data["dram_fetch_bytes_hw"],
+                dram_writeback_bytes_hw=data["dram_writeback_bytes_hw"],
+                dram_lines_hw=data["dram_lines_hw"],
+                model_level_bytes=tuple(data["model_level_bytes"]),
+                model_dram_lines=data["model_dram_lines"],
+                cores_fraction=data["cores_fraction"],
+                search_iterations=data["search_iterations"],
+                degraded=data["degraded"],
+                warning=data.get("warning"),
+                cm_note=data.get("cm_note"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ReportSchemaError(f"unit report field error: {exc}") from exc
+
+
+@dataclass
+class KernelReport:
+    """Full per-benchmark artifact."""
+
+    benchmark: str
+    platform: str
+    granularity: str
+    objective: str
+    set_associative: bool
+    balance_fpb: float = 0.0
+    units: List[UnitReport] = field(default_factory=list)
+    timings_ms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(unit.omega for unit in self.units)
+
+    @property
+    def total_q_dram_model(self) -> int:
+        return sum(unit.q_dram_model for unit in self.units)
+
+    @property
+    def oi_model(self) -> float:
+        q = self.total_q_dram_model
+        return self.total_flops / q if q else float("inf")
+
+    @property
+    def degraded_units(self) -> List[str]:
+        """Names of units that did not characterize exactly."""
+        return [unit.name for unit in self.units if unit.degraded != "exact"]
+
+    @property
+    def noted_units(self) -> List[str]:
+        """Names of units carrying a structured engine note."""
+        return [unit.name for unit in self.units if unit.cm_note]
+
+    @property
+    def fully_exact(self) -> bool:
+        return not self.degraded_units
+
+    @property
+    def boundedness(self) -> str:
+        """Whole-kernel label: aggregate OI against the fitted balance."""
+        if self.balance_fpb > 0:
+            return "CB" if self.oi_model >= self.balance_fpb else "BB"
+        weights: Dict[str, float] = {"CB": 0.0, "BB": 0.0}
+        for unit in self.units:
+            weight = max(unit.omega, unit.q_dram_model)
+            weights[unit.boundedness] += weight
+        return "CB" if weights["CB"] >= weights["BB"] else "BB"
+
+    def caps(self) -> List[float]:
+        return [unit.cap_ghz for unit in self.units]
+
+    def to_json(self) -> dict:
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "platform": self.platform,
+            "granularity": self.granularity,
+            "objective": self.objective,
+            "set_associative": self.set_associative,
+            "balance_fpb": self.balance_fpb,
+            "units": [unit.to_json() for unit in self.units],
+            "timings_ms": dict(self.timings_ms),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "KernelReport":
+        if not isinstance(data, dict):
+            raise ReportSchemaError(
+                f"report payload is {type(data).__name__}, not an object"
+            )
+        version = data.get("version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ReportSchemaError(
+                f"report schema version {version!r} != "
+                f"{REPORT_SCHEMA_VERSION}"
+            )
+        try:
+            report = cls(
+                benchmark=data["benchmark"],
+                platform=data["platform"],
+                granularity=data["granularity"],
+                objective=data["objective"],
+                set_associative=data["set_associative"],
+                balance_fpb=data["balance_fpb"],
+                timings_ms=dict(data["timings_ms"]),
+            )
+            report.units = [
+                UnitReport.from_json(unit) for unit in data["units"]
+            ]
+        except (KeyError, TypeError) as exc:
+            raise ReportSchemaError(f"report field error: {exc}") from exc
+        return report

@@ -1,0 +1,178 @@
+"""The compute path behind the service: one JobSpec -> one KernelReport.
+
+This is the single implementation every entrypoint shares --
+``repro.experiments.runner.kernel_report``, the scheduler's worker pool,
+and the CLI all call :func:`execute_report`.  It runs the full PolyUFC
+flow (compile, per-unit CM with the exact->approx->cap degradation
+ladder under the job's deadline) and attaches the hardware-side workload
+(exact cache-simulator counters), reusing the store's content-addressed
+workload objects when jobs differ only in objective / epsilon / overhead
+/ engine -- the simulator never sees those knobs, so the counters are
+shared by construction.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import List, Optional, Tuple
+
+from repro.benchsuite import get_benchmark
+from repro.cache.simulator import simulate_hierarchy
+from repro.cache.trace import generate_trace
+from repro.hw.platform import get_platform
+from repro.mlpolyufc.characterization import DEGRADABLE_ERRORS
+from repro.mlpolyufc.reports import KernelReport, UnitReport
+from repro.pipeline import polyufc_compile
+from repro.runtime import resolve_timeout
+from repro.service.spec import JobSpec
+
+log = logging.getLogger("repro.runtime")
+
+
+def _hardware_rows(
+    result, plat, units
+) -> Tuple[List[dict], List[Optional[str]], bool]:
+    """Exact-simulator counters per unit: (rows, warnings, cacheable).
+
+    A unit whose CM side degraded to ``timeout-cap`` is not simulated
+    (the exact trace it needs is exactly what timed out) and a unit
+    whose simulation fails gets zero counters plus a warning -- in both
+    cases the rows are *not* cacheable, so transient conditions never
+    enter the workload store.
+    """
+    rows: List[dict] = []
+    warnings: List[Optional[str]] = []
+    cacheable = True
+    zero = {
+        "level_accesses": [0 for _ in plat.hierarchy.levels],
+        "dram_fetch_bytes": 0,
+        "dram_writeback_bytes": 0,
+        "dram_lines": 0,
+    }
+    for unit in units:
+        warning = None
+        sim = None
+        if unit.degraded == "timeout-cap":
+            cacheable = False
+        else:
+            try:
+                trace = generate_trace(result.tiled_module, unit.ops)
+                sim = simulate_hierarchy(trace, plat.hierarchy)
+            except DEGRADABLE_ERRORS as exc:
+                log.warning(
+                    "hardware-side simulation of %s failed (%s); "
+                    "zero hardware counters", unit.name, exc,
+                )
+                warning = f"hardware simulation failed: {exc}"
+                cacheable = False
+        if sim is not None:
+            rows.append({
+                "name": unit.name,
+                "level_accesses": [
+                    level.accesses for level in sim.levels
+                ],
+                "dram_fetch_bytes": sim.dram_fetch_bytes,
+                "dram_writeback_bytes": sim.dram_writeback_bytes,
+                "dram_lines": sim.llc.misses + sim.llc.writebacks,
+            })
+        else:
+            rows.append({"name": unit.name, **zero})
+        warnings.append(warning)
+    return rows, warnings, cacheable
+
+
+def execute_report(
+    spec: JobSpec,
+    store=None,
+    workers: Optional[int] = None,
+    cm_timeout_s: Optional[float] = None,
+) -> KernelReport:
+    """Run the full pipeline for one job spec.
+
+    ``store`` (a :class:`repro.service.store.ResultStore` or ``None``)
+    is consulted only for the hardware-side workload sub-results; report
+    lookup/persistence is the caller's concern, so this function always
+    computes the model side fresh (modulo the in-process CM memo).
+
+    ``workers`` tunes the per-unit thread pool; ``cm_timeout_s``
+    overrides the spec's deadline (argument > spec > env, resolved via
+    :func:`repro.runtime.resolve_timeout`); neither changes any number.
+    """
+    spec.validate()
+    if cm_timeout_s is None:
+        cm_timeout_s = resolve_timeout(spec.cm_timeout_s)
+    plat = get_platform(spec.platform)
+    result = polyufc_compile(
+        get_benchmark(spec.benchmark).module(),
+        plat,
+        granularity=spec.granularity,
+        objective=spec.objective,
+        tile_size=spec.tile_size,
+        epsilon=spec.epsilon,
+        set_associative=spec.set_associative,
+        cap_overhead_factor=spec.cap_overhead_factor,
+        workers=workers,
+        cm_engine=spec.engine,
+        cm_timeout_s=cm_timeout_s,
+    )
+
+    workload_key = spec.workload_digest()
+    cached_rows = store.get_workload(workload_key) if store else None
+    names = [unit.name for unit in result.units]
+    if cached_rows is not None and [
+        row["name"] for row in cached_rows
+    ] != names:
+        cached_rows = None  # unit boundaries drifted; recompute
+    if cached_rows is not None:
+        hw_rows = cached_rows
+        hw_warnings: List[Optional[str]] = [None] * len(names)
+    else:
+        hw_rows, hw_warnings, cacheable = _hardware_rows(
+            result, plat, result.units
+        )
+        if store is not None and cacheable:
+            store.put_workload(workload_key, hw_rows)
+
+    report = KernelReport(
+        benchmark=spec.benchmark,
+        platform=plat.name,
+        granularity=spec.granularity,
+        objective=spec.objective,
+        set_associative=spec.set_associative,
+        balance_fpb=result.constants.b_t_dram,
+        timings_ms={
+            "preprocess": result.timings.preprocess_ms,
+            "pluto": result.timings.pluto_ms,
+            "polyufc_cm": result.timings.polyufc_cm_ms,
+            "steps_4_6": result.timings.steps_4_6_ms,
+        },
+    )
+    for unit, decision, row, hw_warning in zip(
+        result.units, result.decisions, hw_rows, hw_warnings
+    ):
+        warning = unit.warning
+        if hw_warning:
+            warning = (warning + "; " if warning else "") + hw_warning
+        report.units.append(
+            UnitReport(
+                name=unit.name,
+                omega=unit.omega,
+                oi_fpb=float(unit.oi_fpb),
+                boundedness=str(unit.boundedness),
+                cap_ghz=decision.f_cap_ghz,
+                parallel=unit.parallel,
+                q_dram_model=unit.cm.q_dram_bytes,
+                level_accesses_hw=tuple(row["level_accesses"]),
+                dram_fetch_bytes_hw=row["dram_fetch_bytes"],
+                dram_writeback_bytes_hw=row["dram_writeback_bytes"],
+                dram_lines_hw=row["dram_lines"],
+                model_level_bytes=tuple(unit.summary.level_bytes),
+                model_dram_lines=unit.summary.dram_lines,
+                cores_fraction=unit.summary.cores_fraction,
+                search_iterations=decision.search.iterations,
+                degraded=unit.degraded,
+                warning=warning,
+                cm_note=unit.cm_note,
+            )
+        )
+    return report

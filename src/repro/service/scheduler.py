@@ -1,0 +1,304 @@
+"""Async job scheduler: batching, in-flight dedup, deadlines, events.
+
+The scheduler accepts single and batch submissions, content-addresses
+each by its :meth:`JobSpec.digest`, and guarantees that at any moment at
+most one pipeline execution per digest is in flight: concurrent
+identical submissions **coalesce** onto the primary job and share its
+future (event ``coalesced``; the primary is the only one that ever
+emits ``started``).  Completed digests are served from the result store
+(event ``cache_hit``) without occupying pipeline time at all.
+
+Work is sharded across a thread pool whose width follows the
+``REPRO_CM_WORKERS`` semantics (:func:`resolve_workers`); when the pool
+is wider than one, each job runs its per-unit characterization serially
+so job-level parallelism wins (same policy as ``kernel_reports``).
+Per-job deadlines ride the existing cooperative machinery: the spec's
+``cm_timeout_s`` (or the scheduler default) becomes a
+:class:`repro.runtime.Deadline` inside the pipeline, and a unit that
+exceeds it walks the exact -> approx -> timeout-cap ladder instead of
+blocking the pool; such reports complete normally but are never
+persisted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.mlpolyufc.characterization import resolve_workers
+from repro.mlpolyufc.reports import KernelReport
+from repro.runtime import resolve_timeout
+from repro.service.events import EventSink, ListSink, make_event
+from repro.service.executor import execute_report
+from repro.service.spec import JobSpec
+from repro.service.store import ResultStore
+
+log = logging.getLogger("repro.runtime")
+
+JOB_STATES = ("queued", "running", "completed", "failed")
+
+
+@dataclass
+class Job:
+    """One submission (possibly coalesced onto an identical one)."""
+
+    job_id: str
+    spec: JobSpec
+    digest: str
+    submitted_at: float
+    state: str = "queued"
+    source: Optional[str] = None  # "computed" | "store" | "coalesced"
+    error: Optional[str] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    degraded_units: List[str] = field(default_factory=list)
+    primary_id: Optional[str] = None
+    future: Optional[Future] = None
+
+    def result(self, timeout: Optional[float] = None) -> KernelReport:
+        """Block until the report is available (raises on failure)."""
+        return self.future.result(timeout)
+
+    def done(self) -> bool:
+        return self.future is not None and self.future.done()
+
+
+class Scheduler:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: Optional[int] = None,
+        sink: Optional[EventSink] = None,
+        cm_timeout_s: Optional[float] = None,
+    ):
+        self.store = store
+        self.sink = sink if sink is not None else ListSink()
+        self.width = resolve_workers(workers)
+        self.default_timeout_s = cm_timeout_s
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.width, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Job] = {}
+        self._jobs: Dict[str, Job] = {}
+        self._counter = itertools.count(1)
+        self._closed = False
+
+    # -- events --------------------------------------------------------
+
+    def _emit(self, kind: str, job: Job, detail: str = "",
+              duration_ms: Optional[float] = None) -> None:
+        try:
+            self.sink.emit(make_event(
+                kind, job.job_id, job.digest,
+                job.spec.benchmark, job.spec.platform,
+                detail=detail, duration_ms=duration_ms,
+            ))
+        except Exception:  # a sink error must never take a job down
+            log.exception("event sink failed on %s/%s", kind, job.job_id)
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, spec: Union[JobSpec, dict]) -> Job:
+        """Enqueue one job; returns immediately with a tracking handle."""
+        if isinstance(spec, dict):
+            spec = JobSpec.from_json(spec)
+        else:
+            spec.validate()
+        digest = spec.digest()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            job_id = f"j{next(self._counter):08d}"
+            job = Job(
+                job_id=job_id, spec=spec, digest=digest,
+                submitted_at=time.time(),
+            )
+            self._jobs[job_id] = job
+            primary = self._inflight.get(digest)
+            if primary is not None:
+                job.primary_id = primary.job_id
+                job.source = "coalesced"
+                job.future = primary.future
+            else:
+                job.future = Future()
+                self._inflight[digest] = job
+        self._emit("submitted", job, detail=spec.label())
+        if job.primary_id is not None:
+            self._emit("coalesced", job, detail=job.primary_id)
+            # Every job gets a terminal event, coalesced ones included --
+            # event-log consumers see a complete per-job lifecycle.
+            job.future.add_done_callback(
+                lambda fut, job=job: self._finish_coalesced(job, fut)
+            )
+        else:
+            self._pool.submit(self._run, job)
+        return job
+
+    def _finish_coalesced(self, job: Job, fut: Future) -> None:
+        exc = fut.exception()
+        with self._lock:
+            job.finished_at = time.time()
+            if exc is not None:
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            else:
+                job.state = "completed"
+        duration_ms = (job.finished_at - job.submitted_at) * 1e3
+        if exc is not None:
+            self._emit("failed", job, detail=job.error,
+                       duration_ms=duration_ms)
+        else:
+            self._emit("completed", job, detail="coalesced",
+                       duration_ms=duration_ms)
+
+    def submit_batch(
+        self, specs: Sequence[Union[JobSpec, dict]]
+    ) -> List[Job]:
+        """Submit many jobs; duplicates inside the batch coalesce too."""
+        return [self.submit(spec) for spec in specs]
+
+    # -- execution -----------------------------------------------------
+
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            job.state = "running"
+            job.started_at = time.time()
+        try:
+            report = None
+            if self.store is not None:
+                report = self.store.get_report(job.digest)
+            if report is not None:
+                job.source = "store"
+                self._emit("cache_hit", job)
+            else:
+                job.source = "computed"
+                self._emit("started", job, detail=job.spec.label())
+                timeout = (
+                    job.spec.cm_timeout_s
+                    if job.spec.cm_timeout_s is not None
+                    else resolve_timeout(self.default_timeout_s)
+                )
+                inner_workers = 1 if self.width > 1 else None
+                report = execute_report(
+                    job.spec,
+                    store=self.store,
+                    workers=inner_workers,
+                    cm_timeout_s=timeout,
+                )
+                if not report.fully_exact:
+                    job.degraded_units = report.degraded_units
+                    self._emit(
+                        "degraded", job,
+                        detail=",".join(
+                            f"{unit.name}={unit.degraded}"
+                            for unit in report.units
+                            if unit.degraded != "exact"
+                        ),
+                    )
+                if self.store is not None:
+                    # No-op for degraded reports (store policy).
+                    self.store.put_report(job.spec, report)
+        except BaseException as exc:
+            with self._lock:
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+                self._inflight.pop(job.digest, None)
+            self._emit(
+                "failed", job, detail=job.error,
+                duration_ms=(job.finished_at - job.submitted_at) * 1e3,
+            )
+            job.future.set_exception(exc)
+            return
+        with self._lock:
+            job.state = "completed"
+            job.finished_at = time.time()
+            self._inflight.pop(job.digest, None)
+        self._emit(
+            "completed", job, detail=job.source or "",
+            duration_ms=(job.finished_at - job.submitted_at) * 1e3,
+        )
+        job.future.set_result(report)
+
+    # -- introspection -------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def status(self, job_id: str) -> Optional[dict]:
+        """A JSON-shaped view of one job (coalesced jobs mirror their
+        primary's progress through the shared future)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            primary = (
+                self._jobs.get(job.primary_id)
+                if job.primary_id is not None else None
+            )
+        state, error = job.state, job.error
+        degraded = list(job.degraded_units)
+        if primary is not None:
+            state, error = primary.state, primary.error
+            degraded = list(primary.degraded_units)
+        duration_ms = None
+        finished = (primary or job).finished_at
+        if finished is not None:
+            duration_ms = (finished - job.submitted_at) * 1e3
+        return {
+            "job_id": job.job_id,
+            "state": state,
+            "digest": job.digest,
+            "benchmark": job.spec.benchmark,
+            "platform": job.spec.platform,
+            "objective": job.spec.objective,
+            "source": job.source,
+            "error": error,
+            "degraded_units": degraded,
+            "coalesced_into": job.primary_id,
+            "submitted_at": job.submitted_at,
+            "duration_ms": duration_ms,
+        }
+
+    def jobs(self) -> List[dict]:
+        with self._lock:
+            ids = list(self._jobs)
+        return [self.status(job_id) for job_id in ids]
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> KernelReport:
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job.result(timeout)
+
+    def wait_all(
+        self, jobs: Sequence[Job], timeout: Optional[float] = None
+    ) -> List[KernelReport]:
+        """Results of ``jobs`` in order (shared deadline across them)."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        reports = []
+        for job in jobs:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            reports.append(job.result(remaining))
+        return reports
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)

@@ -1,0 +1,200 @@
+"""Job specifications and content digests for the characterization service.
+
+A :class:`JobSpec` names everything that determines a characterization
+result: the kernel (a registered benchmark, which fixes the problem
+size), the platform (which fixes the cache hierarchy), the unit
+granularity, the capping objective, the search tolerance ``epsilon``,
+the tiling, the cap-overhead scaling, and the CM engine.  Its
+:meth:`~JobSpec.digest` is a canonical SHA-256 over those fields *plus
+the model versions* (report schema, CM memo, envelope format), so the
+result store is content-addressed: two requests share a slot iff they
+are guaranteed to produce the same numbers, and any model change
+invalidates every stale slot at once.
+
+``cm_timeout_s`` is deliberately **excluded** from the digest: it bounds
+how long the computation may take, never what the exact result is (a
+degraded result is not persisted at all -- see ``repro.service.store``).
+
+The hardware-side workload (exact cache-simulator counters) depends on a
+strict subset of the fields -- not on ``objective``, ``epsilon`` or
+``cap_overhead_factor``, which only steer cap selection -- so it has its
+own coarser :meth:`~JobSpec.workload_digest`, letting jobs that differ
+only in those knobs share the expensive trace + simulation work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.cache.memo import MEMO_VERSION
+from repro.cache.static_model import CM_ENGINES, resolve_engine
+from repro.mlpolyufc.characterization import GRANULARITIES
+from repro.mlpolyufc.reports import REPORT_SCHEMA_VERSION
+from repro.runtime.io import ENVELOPE_VERSION, canonical_json
+
+#: Bump when the digest recipe itself changes shape.
+SPEC_VERSION = 1
+
+OBJECTIVES = ("edp", "energy", "performance")
+PLATFORM_NAMES = ("rpl", "bdw")
+
+
+def model_versions() -> dict:
+    """The version tuple folded into every digest."""
+    return {
+        "spec": SPEC_VERSION,
+        "report": REPORT_SCHEMA_VERSION,
+        "memo": MEMO_VERSION,
+        "envelope": ENVELOPE_VERSION,
+    }
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One characterization request (see module docstring)."""
+
+    benchmark: str
+    platform: str = "rpl"
+    granularity: str = "linalg"
+    objective: str = "edp"
+    set_associative: bool = True
+    tile_size: int = 32
+    epsilon: float = 1e-3
+    cap_overhead_factor: float = 50.0
+    engine: Optional[str] = None
+    #: Execution knob, not identity: excluded from the digest.
+    cm_timeout_s: Optional[float] = None
+
+    def validate(self) -> "JobSpec":
+        """Raise ``ValueError`` on any malformed field; return self."""
+        from repro.benchsuite import REGISTRY
+
+        if self.benchmark not in REGISTRY:
+            raise ValueError(f"unknown benchmark {self.benchmark!r}")
+        if self.platform not in PLATFORM_NAMES:
+            raise ValueError(
+                f"unknown platform {self.platform!r}; "
+                f"expected one of {PLATFORM_NAMES}"
+            )
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {self.granularity!r}; "
+                f"expected one of {GRANULARITIES}"
+            )
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                f"expected one of {OBJECTIVES}"
+            )
+        if self.engine is not None and self.engine not in CM_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {CM_ENGINES}"
+            )
+        if not isinstance(self.tile_size, int) or self.tile_size <= 0:
+            raise ValueError(f"tile_size must be a positive int, "
+                             f"got {self.tile_size!r}")
+        if not self.epsilon > 0:
+            raise ValueError(f"epsilon must be > 0, got {self.epsilon!r}")
+        if not self.cap_overhead_factor >= 0:
+            raise ValueError(
+                f"cap_overhead_factor must be >= 0, "
+                f"got {self.cap_overhead_factor!r}"
+            )
+        if self.cm_timeout_s is not None and self.cm_timeout_s < 0:
+            raise ValueError(
+                f"cm_timeout_s must be >= 0, got {self.cm_timeout_s!r}"
+            )
+        return self
+
+    def resolved_engine(self) -> str:
+        """The engine the job will actually run (arg > env > default)."""
+        return resolve_engine(self.engine)
+
+    def resolved(self) -> "JobSpec":
+        """A copy with the engine pinned, for stable digests."""
+        return replace(self, engine=self.resolved_engine())
+
+    def digest(self) -> str:
+        """The content address of this job's full report."""
+        blob = canonical_json(
+            [
+                "polyufc-report",
+                model_versions(),
+                {
+                    "benchmark": self.benchmark,
+                    "platform": self.platform,
+                    "granularity": self.granularity,
+                    "objective": self.objective,
+                    "set_associative": self.set_associative,
+                    "tile_size": self.tile_size,
+                    "epsilon": self.epsilon,
+                    "cap_overhead_factor": self.cap_overhead_factor,
+                    "engine": self.resolved_engine(),
+                },
+            ]
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def workload_digest(self) -> str:
+        """The content address of the hardware-side workload counters.
+
+        Coarser than :meth:`digest`: the exact simulator sees the tiled
+        module and the hierarchy, never the objective/epsilon/overhead
+        knobs or the CM engine, so jobs differing only in those share
+        this slot.
+        """
+        blob = canonical_json(
+            [
+                "polyufc-workload",
+                model_versions(),
+                {
+                    "benchmark": self.benchmark,
+                    "platform": self.platform,
+                    "granularity": self.granularity,
+                    "set_associative": self.set_associative,
+                    "tile_size": self.tile_size,
+                },
+            ]
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "platform": self.platform,
+            "granularity": self.granularity,
+            "objective": self.objective,
+            "set_associative": self.set_associative,
+            "tile_size": self.tile_size,
+            "epsilon": self.epsilon,
+            "cap_overhead_factor": self.cap_overhead_factor,
+            "engine": self.engine,
+            "cm_timeout_s": self.cm_timeout_s,
+        }
+
+    @classmethod
+    def from_json(cls, data) -> "JobSpec":
+        """Parse and validate a request payload (strict on shape)."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"job spec must be an object, got {type(data).__name__}"
+            )
+        known = {
+            "benchmark", "platform", "granularity", "objective",
+            "set_associative", "tile_size", "epsilon",
+            "cap_overhead_factor", "engine", "cm_timeout_s",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown job spec fields {unknown}")
+        if "benchmark" not in data:
+            raise ValueError("job spec is missing 'benchmark'")
+        spec = cls(**data)
+        return spec.validate()
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and events."""
+        return f"{self.benchmark}/{self.platform}/{self.objective}"

@@ -23,21 +23,23 @@ def cache_dir(tmp_path, monkeypatch):
 @pytest.fixture()
 def compile_counter(monkeypatch):
     """Count how often the expensive compile stage actually runs."""
+    from repro.service import executor
+
     calls = []
-    real = runner.polyufc_compile
+    real = executor.polyufc_compile
 
     def counting(*args, **kwargs):
         calls.append(1)
         return real(*args, **kwargs)
 
-    monkeypatch.setattr(runner, "polyufc_compile", counting)
+    monkeypatch.setattr(executor, "polyufc_compile", counting)
     return calls
 
 
 def test_kernel_report_disk_cache_hit_and_miss(cache_dir, compile_counter):
     first = kernel_report(KERNEL, "rpl")
     assert len(compile_counter) == 1  # miss: compiled
-    assert list(cache_dir.glob("report_*.json"))
+    assert list((cache_dir / "store" / "reports").glob("*.json"))
 
     second = kernel_report(KERNEL, "rpl")
     assert len(compile_counter) == 1  # hit: served from disk
@@ -62,7 +64,7 @@ def test_kernel_report_no_cache_env_disables_persistence(
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     monkeypatch.setenv("REPRO_NO_CACHE", "1")
     kernel_report(KERNEL, "rpl")
-    assert not list(tmp_path.glob("report_*.json"))
+    assert not list(tmp_path.rglob("*.json"))  # nothing persisted at all
     kernel_report(KERNEL, "rpl")
     assert len(compile_counter) == 2
 

@@ -1,6 +1,7 @@
 """repro.experiments.summarize: the EXPERIMENTS.md regeneration path."""
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import pytest
 
@@ -8,8 +9,19 @@ from repro.experiments import summarize
 
 
 @dataclass
+class _FakeUnit:
+    name: str
+    degraded: str = "exact"
+    cm_note: Optional[str] = None
+    warning: Optional[str] = None
+
+
+@dataclass
 class _FakeReport:
     boundedness: str
+    units: List[_FakeUnit] = field(default_factory=list)
+    fully_exact: bool = True
+    noted_units: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -47,7 +59,13 @@ def stubbed(monkeypatch):
     monkeypatch.setattr(summarize, "ml_benchmarks", lambda: ["gamma_ml"])
     reports = {
         "alpha": _FakeReport("CB"),
-        "beta": _FakeReport("BB"),
+        "beta": _FakeReport(
+            "BB",
+            units=[_FakeUnit("u0", degraded="timeout-cap",
+                             warning="deadline at cm.chunk")],
+            fully_exact=False,
+            noted_units=["u0"],
+        ),
         "gamma_ml": _FakeReport("BB"),
     }
     monkeypatch.setattr(
@@ -76,6 +94,11 @@ def test_summarize_platform_prints_split_and_gains(stubbed, capsys):
     # PolyBench kernels is the same +66.7%.
     assert "+50.0%" in out
     assert "geomean EDP improvement: +66.7%" in out
+    # beta's caps rest on a degraded unit: flagged in the table and
+    # expanded in the caveat footnote.
+    assert "beta*" in out
+    assert "non-exact / annotated units:" in out
+    assert "beta/u0: timeout-cap (deadline at cm.chunk)" in out
 
 
 def test_summarize_main_selects_platforms(stubbed, monkeypatch, capsys):

@@ -60,7 +60,7 @@ def test_sweep(capsys):
 
 
 def test_unknown_kernel_raises():
-    with pytest.raises(KeyError):
+    with pytest.raises(ValueError, match="unknown benchmark"):
         main(["characterize", "not-a-kernel"])
 
 
@@ -72,3 +72,110 @@ def test_parser_rejects_bad_platform():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_fuzz_smoke(capsys, tmp_path):
+    code, out = run_cli(
+        capsys, "fuzz", "--time-budget", "2", "--max-cases", "2",
+        "--artifacts", str(tmp_path / "artifacts"),
+    )
+    assert code == 0
+    assert "fuzz seed=0" in out
+    assert "0 failure(s)" in out
+
+
+class TestServiceCLI:
+    """Smoke tests for serve/submit/status/query (in-process, loopback)."""
+
+    @pytest.fixture()
+    def service_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        return tmp_path
+
+    def test_serve_once_answers_one_request_and_exits(
+        self, capsys, service_cache, tmp_path
+    ):
+        import threading
+
+        from repro.service import request_json
+
+        port_file = tmp_path / "port.txt"
+        result = {}
+
+        def run():
+            result["code"] = main([
+                "serve", "--port", "0",
+                "--port-file", str(port_file), "--once",
+            ])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if port_file.exists():
+                break
+            thread.join(timeout=0.05)
+        port = int(port_file.read_text().strip())
+        code, body = request_json(f"http://127.0.0.1:{port}/v1/healthz")
+        assert code == 200 and body["ok"] is True
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+
+    def test_submit_local_and_query(self, capsys, service_cache):
+        code, out = run_cli(capsys, "submit", "trisolv")
+        assert code == 0
+        assert "trisolv/edp completed" in out
+        assert "caps=" in out
+
+        code, out = run_cli(capsys, "query", "--benchmark", "trisolv")
+        assert code == 0
+        assert "trisolv" in out
+        assert "1 result(s)" in out
+
+        code, out = run_cli(capsys, "query", "--benchmark", "nothere")
+        assert code == 0
+        assert "0 result(s)" in out
+
+    def test_submit_malformed_kernel_exits_2(self, capsys, service_cache):
+        code = main(["submit", "not-a-kernel"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown benchmark" in captured.err
+
+    def test_status_against_running_server(
+        self, capsys, service_cache
+    ):
+        from repro.service.http import serve_in_thread
+
+        server, base, thread = serve_in_thread(
+            store=str(service_cache / "store")
+        )
+        try:
+            code, out = run_cli(
+                capsys, "submit", "trisolv", "--url", base,
+            )
+            assert code == 0
+            job_id = out.split()[0]
+
+            code, out = run_cli(capsys, "status", job_id, "--url", base)
+            assert code == 0
+            assert '"state": "completed"' in out
+
+            code = main(["status", "j99999999", "--url", base])
+            captured = capsys.readouterr()
+            assert code == 1
+            assert "unknown job" in captured.err
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=10)
+
+    def test_parser_rejects_bad_service_args(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])  # no kernels
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["status", "j1"])  # --url required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--boundedness", "XX"])

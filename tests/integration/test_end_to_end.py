@@ -152,7 +152,7 @@ class TestExperimentRunner:
         assert fresh.caps() == cached.caps()
         assert fresh.oi_model == cached.oi_model
         assert [u.name for u in fresh.units] == [u.name for u in cached.units]
-        assert list(tmp_path.glob("report_*.json"))
+        assert list((tmp_path / "store" / "reports").glob("*.json"))
 
     def test_cache_disable_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -160,4 +160,4 @@ class TestExperimentRunner:
         from repro.experiments import kernel_report
 
         kernel_report("doitgen", "rpl")
-        assert not list(tmp_path.glob("report_*.json"))
+        assert not list(tmp_path.rglob("*.json"))

@@ -243,26 +243,30 @@ class TestReportCacheHardening:
         from repro.experiments import kernel_report
 
         fresh = kernel_report("doitgen", "rpl")
-        entries = list(tmp_path.glob("report_*.json"))
+        entries = list((tmp_path / "store" / "reports").glob("*.json"))
         assert len(entries) == 1
         entries[0].write_text(entries[0].read_text()[:25])
         recomputed = kernel_report("doitgen", "rpl")
         assert recomputed.caps() == fresh.caps()
-        assert list(tmp_path.glob("*.corrupt"))
+        assert list(tmp_path.rglob("*.corrupt"))
         # and the slot was repopulated with a valid entry
-        assert read_checked_json(entries[0])["benchmark"] == "doitgen"
+        assert (
+            read_checked_json(entries[0])["report"]["benchmark"] == "doitgen"
+        )
 
     def test_schema_drifted_report_recomputes(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         from repro.experiments import kernel_report
 
         fresh = kernel_report("doitgen", "rpl")
-        entry = next(iter(tmp_path.glob("report_*.json")))
+        entry = next(
+            iter((tmp_path / "store" / "reports").glob("*.json"))
+        )
         # Valid envelope, stale payload shape: drop a required unit field.
         payload = read_checked_json(entry, quarantine=False)
-        for unit in payload["units"]:
+        for unit in payload["report"]["units"]:
             unit.pop("cap_ghz")
         atomic_write_json(entry, payload)
         recomputed = kernel_report("doitgen", "rpl")
         assert recomputed.caps() == fresh.caps()
-        assert list(tmp_path.glob("*.corrupt"))
+        assert list(tmp_path.rglob("*.corrupt"))

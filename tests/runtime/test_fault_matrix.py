@@ -83,10 +83,10 @@ def test_hard_engine_fault_is_visible_in_unit_metadata(tmp_path, monkeypatch):
     for unit in report.units:
         assert unit.degraded == "timeout-cap"
         assert "injected engine fault" in unit.warning
-    # degraded reports are never persisted -- the cache cannot be poisoned
-    assert not list(tmp_path.glob("report_*.json"))
+    # degraded reports are never persisted -- the store cannot be poisoned
+    assert not list(tmp_path.rglob("reports/*.json"))
     # disarmed, the same slot recomputes exactly and persists
     monkeypatch.setenv("REPRO_FAULTS", "")
     exact = kernel_report("doitgen", "rpl")
     assert exact.fully_exact
-    assert list(tmp_path.glob("report_*.json"))
+    assert list(tmp_path.rglob("reports/*.json"))

@@ -1,0 +1,65 @@
+"""Lifecycle event objects and sinks."""
+
+import json
+
+import pytest
+
+from repro.service.events import (
+    EVENT_KINDS,
+    JsonlSink,
+    ListSink,
+    TeeSink,
+    make_event,
+)
+
+
+def ev(kind="submitted", job_id="j1"):
+    return make_event(kind, job_id, "d" * 64, "atax", "rpl", detail="x")
+
+
+def test_make_event_validates_kind():
+    with pytest.raises(ValueError):
+        make_event("exploded", "j1", "d", "atax", "rpl")
+
+
+def test_event_json_shape():
+    event = ev()
+    data = event.to_json()
+    assert data["kind"] == "submitted"
+    assert data["job_id"] == "j1"
+    assert data["benchmark"] == "atax"
+    assert isinstance(data["ts"], float)
+
+
+def test_list_sink_filters_and_counts():
+    sink = ListSink()
+    for kind in ("submitted", "started", "completed", "completed"):
+        sink.emit(ev(kind))
+    assert len(sink.events()) == 4
+    assert [e.kind for e in sink.events("completed")] == [
+        "completed", "completed",
+    ]
+    assert sink.counts() == {"submitted": 1, "started": 1, "completed": 2}
+    sink.clear()
+    assert sink.events() == []
+
+
+def test_jsonl_sink_writes_one_line_per_event(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(path)
+    for kind in EVENT_KINDS[:3]:
+        sink.emit(ev(kind))
+    sink.close()
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 3
+    assert [json.loads(line)["kind"] for line in lines] == list(
+        EVENT_KINDS[:3]
+    )
+
+
+def test_tee_sink_fans_out(tmp_path):
+    a, b = ListSink(), ListSink()
+    tee = TeeSink(a, b)
+    tee.emit(ev())
+    assert len(a.events()) == len(b.events()) == 1
+    tee.close()

@@ -1,0 +1,55 @@
+"""Acceptance: store round-trips are lossless against fresh computes.
+
+For every benchmark in the sweep, a report fetched from the store is
+JSON-identical to a freshly computed one -- including the resilience
+metadata -- and a corrupted entry is quarantined and recomputed, never
+served.  The default sweep is a small cross-section (polybench + ML);
+``REPRO_SERVICE_FULL=1`` (set by the CI service job) widens it to every
+registered benchmark.
+"""
+
+import os
+
+import pytest
+
+from repro.service.executor import execute_report
+from repro.service.spec import JobSpec
+from repro.service.store import ResultStore
+
+SMOKE_BENCHMARKS = ["atax", "trisolv", "gesummv", "sdpa_gemma2"]
+
+
+def sweep_benchmarks():
+    if os.environ.get("REPRO_SERVICE_FULL", "") == "1":
+        from repro.benchsuite import REGISTRY
+
+        return sorted(REGISTRY)
+    return SMOKE_BENCHMARKS
+
+
+# NB: the parameter is named `kernel`, not `benchmark` -- pytest-benchmark
+# claims the `benchmark` funcarg name for its own fixture.
+@pytest.mark.parametrize("kernel", sweep_benchmarks())
+def test_store_roundtrip_equals_fresh_compute(tmp_path, kernel):
+    store = ResultStore(tmp_path / "store")
+    spec = JobSpec(benchmark=kernel)
+
+    fresh = execute_report(spec, store=store)
+    assert fresh.fully_exact, f"{kernel} degraded in a clean run"
+    assert store.put_report(spec, fresh) is not None
+
+    fetched = store.get_report(spec.digest())
+    assert fetched is not None
+    assert fetched.to_json() == fresh.to_json()
+
+    # Corrupt the stored object: it must be quarantined and recomputed,
+    # never served.
+    path = store.report_path(spec.digest())
+    path.write_text(path.read_text()[:40])
+    assert store.get_report(spec.digest()) is None
+    assert list(store.reports_dir.glob("*.corrupt"))
+    recomputed = execute_report(spec, store=store)
+    # Identical numbers; only the wall-clock timings may differ.
+    a, b = recomputed.to_json(), fresh.to_json()
+    a.pop("timings_ms"), b.pop("timings_ms")
+    assert a == b

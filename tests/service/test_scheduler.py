@@ -1,0 +1,175 @@
+"""Scheduler: coalescing, cache hits, degradation policy, failures."""
+
+import pytest
+
+from repro.runtime.faults import inject
+from repro.service import scheduler as scheduler_module
+from repro.service.events import ListSink
+from repro.service.scheduler import Scheduler
+from repro.service.spec import JobSpec
+from repro.service.store import ResultStore
+
+KERNEL = "trisolv"  # smallest compile in the suite
+
+
+@pytest.fixture()
+def sink():
+    return ListSink()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def make_scheduler(store, sink, **kwargs):
+    return Scheduler(store=store, sink=sink, **kwargs)
+
+
+@pytest.fixture()
+def no_memo(monkeypatch):
+    """Force every CM computation to actually run its engine."""
+    from repro.cache.memo import clear_memo
+
+    monkeypatch.setenv("REPRO_CM_MEMO", "0")
+    clear_memo()
+
+
+def event_kinds(sink):
+    return [event.kind for event in sink.events()]
+
+
+def test_identical_concurrent_submissions_run_the_pipeline_once(
+    store, sink, no_memo
+):
+    sched = make_scheduler(store, sink)
+    spec = JobSpec(benchmark=KERNEL)
+    try:
+        # Slow down every CM chunk so the primary is still in flight
+        # while the duplicates arrive.
+        with inject("cm.chunk", "slow", arg=0.05):
+            jobs = [sched.submit(spec) for _ in range(5)]
+            reports = sched.wait_all(jobs, timeout=300)
+    finally:
+        sched.shutdown()
+
+    assert len(reports) == 5
+    blobs = {id(r): r.to_json() for r in reports}
+    first = reports[0].to_json()
+    assert all(blob == first for blob in blobs.values())
+
+    counts = sink.counts()
+    # THE acceptance criterion: one pipeline execution, ever.
+    assert counts.get("started", 0) == 1
+    assert counts.get("coalesced", 0) == 4
+    assert counts.get("completed", 0) == 5
+    assert counts.get("failed", 0) == 0
+    # Exactly one object was persisted for the five submissions.
+    assert len(list(store.reports_dir.glob("*.json"))) == 1
+
+    # Coalesced jobs mirror the primary's terminal state.
+    primary_id = jobs[0].job_id
+    for job in jobs[1:]:
+        status = sched.status(job.job_id)
+        assert status["coalesced_into"] == primary_id
+        assert status["state"] == "completed"
+
+
+def test_completed_digest_is_served_from_the_store(store, sink):
+    spec = JobSpec(benchmark=KERNEL)
+    sched = make_scheduler(store, sink)
+    try:
+        sched.submit(spec).result(300)
+        second = sched.submit(spec)
+        second.result(300)
+    finally:
+        sched.shutdown()
+    kinds = event_kinds(sink)
+    assert kinds.count("started") == 1
+    assert kinds.count("cache_hit") == 1
+    assert sched.status(second.job_id)["source"] == "store"
+
+
+def test_degraded_reports_complete_but_never_persist(
+    store, sink, no_memo
+):
+    spec = JobSpec(benchmark=KERNEL)
+    sched = make_scheduler(store, sink)
+    try:
+        with inject("cm.engine", "fail"):
+            report = sched.submit(spec).result(300)
+    finally:
+        sched.shutdown()
+    assert not report.fully_exact
+    assert report.degraded_units
+    counts = sink.counts()
+    assert counts.get("degraded", 0) == 1
+    assert counts.get("completed", 0) == 1
+    assert store.get_report(spec.digest()) is None
+    assert not list(store.reports_dir.glob("*.json"))
+
+
+def test_failed_jobs_surface_the_error_and_release_the_slot(
+    store, sink, monkeypatch
+):
+    def boom(*args, **kwargs):
+        raise RuntimeError("synthetic executor crash")
+
+    monkeypatch.setattr(scheduler_module, "execute_report", boom)
+    spec = JobSpec(benchmark=KERNEL)
+    sched = make_scheduler(store, sink)
+    try:
+        job = sched.submit(spec)
+        with pytest.raises(RuntimeError, match="synthetic"):
+            job.result(60)
+        status = sched.status(job.job_id)
+        assert status["state"] == "failed"
+        assert "synthetic executor crash" in status["error"]
+        assert sink.counts().get("failed", 0) == 1
+        # The in-flight slot was released: a new submission gets a fresh
+        # primary (and fails again), it does not coalesce onto a corpse.
+        retry = sched.submit(spec)
+        with pytest.raises(RuntimeError):
+            retry.result(60)
+        assert sched.status(retry.job_id)["coalesced_into"] is None
+    finally:
+        sched.shutdown()
+
+
+def test_submit_validates_specs(store, sink):
+    sched = make_scheduler(store, sink)
+    try:
+        with pytest.raises(ValueError):
+            sched.submit({"benchmark": "nope"})
+        with pytest.raises(ValueError):
+            sched.submit({"benchmark": KERNEL, "bogus": True})
+    finally:
+        sched.shutdown()
+
+
+def test_shutdown_rejects_new_work(store, sink):
+    sched = make_scheduler(store, sink)
+    sched.shutdown()
+    with pytest.raises(RuntimeError):
+        sched.submit(JobSpec(benchmark=KERNEL))
+
+
+def test_batch_submission_coalesces_intra_batch_duplicates(
+    store, sink, no_memo
+):
+    sched = make_scheduler(store, sink)
+    specs = [
+        {"benchmark": KERNEL, "objective": "edp"},
+        {"benchmark": KERNEL, "objective": "edp"},
+        {"benchmark": KERNEL, "objective": "energy"},
+    ]
+    try:
+        with inject("cm.chunk", "slow", arg=0.05):
+            jobs = sched.submit_batch(specs)
+            reports = sched.wait_all(jobs, timeout=300)
+    finally:
+        sched.shutdown()
+    assert [report.objective for report in reports] == [
+        "edp", "edp", "energy",
+    ]
+    assert sink.counts().get("started", 0) == 2  # edp once, energy once
