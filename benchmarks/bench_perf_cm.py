@@ -125,6 +125,38 @@ def cm_rows(cases, reps, fast_reps):
     return rows
 
 
+def sa_regression_row():
+    """Symbolic-vs-trace+fast cross-check on the SA regression kernel.
+
+    2mm under the set-associative RPL hierarchy is the residue-split
+    stress case (the kernel that regressed to 0.4x before the enumeration
+    was vectorized per set).  Runs in smoke mode too, so CI notices both
+    a correctness break and a silent slide back below the recorded floor.
+    """
+    hierarchy = PLATFORMS["rpl"]().hierarchy
+    module = POLYBENCH_BUILDERS["2mm"]()
+    trace_s, trace = time_call(lambda: generate_trace(module), 1)
+    fast_s, fast = time_call(lambda: polyufc_cm(trace, hierarchy, engine="fast"), 1)
+    sym_s, symbolic = time_call(lambda: symbolic_cm(module, None, hierarchy), 1)
+    if symbolic != fast:
+        raise SystemExit("SA cross-check: symbolic != fast on 2mm/SA")
+    speedup = round((trace_s + fast_s) / sym_s, 2) if sym_s else None
+    print(
+        f"{'sa-crosscheck 2mm':>20} SA  trace+fast={trace_s + fast_s:8.3f}s  "
+        f"sym={sym_s:8.3f}s ({speedup:5.1f}x)  OK"
+    )
+    return {
+        "kernel": "2mm",
+        "hierarchy": "SA",
+        "accesses": len(trace),
+        "trace_s": round(trace_s, 4),
+        "fast_s": round(fast_s, 4),
+        "symbolic_s": round(sym_s, 4),
+        "symbolic_speedup": speedup,
+        "engines_match": True,
+    }
+
+
 def line_ids_section(reps):
     """Repeat-hierarchy trace path: ``line_ids`` cold vs memoized."""
     module = POLYBENCH_BUILDERS["2mm"]()
@@ -191,6 +223,7 @@ def main(argv=None):
     reps = 1
     fast_reps = 1 if args.smoke else 2
     rows = cm_rows(cases, reps, fast_reps)
+    sa_check = sa_regression_row()
     workers = workers_section(1)
     line_ids = line_ids_section(reps)
 
@@ -209,6 +242,7 @@ def main(argv=None):
         },
         "smoke": args.smoke,
         "rows": rows,
+        "sa_crosscheck": sa_check,
         "workers": workers,
         "line_ids": line_ids,
         "max_speedup": max(speedups),

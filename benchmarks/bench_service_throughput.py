@@ -1,4 +1,4 @@
-"""Service throughput benchmark: batched service vs sequential pipeline.
+"""Service throughput benchmark: batching wins and multi-core scaling.
 
 Replays a 200-request mixed PolyBench+ML batch (60% repeated specs --
 the fleet-characterization shape from docs/SERVICE.md) two ways:
@@ -11,10 +11,18 @@ the fleet-characterization shape from docs/SERVICE.md) two ways:
   revisits, and jobs differing only in objective/epsilon share the
   hardware-side workload objects.
 
+``--full`` additionally sweeps process-pool worker counts over the same
+batch (fresh store per point, so the cold non-coalesced portion is what
+scales) and records the scaling curve.  The sweep is refused on
+single-CPU hosts -- a 1-CPU "curve" only measures fork overhead -- and
+every result records ``parallelism_limited`` so readers can tell a
+1-CPU number from a real multi-core one.
+
 Results land in ``BENCH_service.json`` at the repo root (referenced from
 docs/PERFORMANCE.md)::
 
-    PYTHONPATH=src python benchmarks/bench_service_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py          # batching
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --full   # + scaling
     PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke  # CI
 """
 
@@ -78,6 +86,20 @@ def build_requests(kernels, total, repeat_fraction, seed):
     return requests, len(unique)
 
 
+def check_event_invariants(counts: dict) -> None:
+    """The quiesced stream must balance (see docs/SERVICE.md)."""
+    submitted = counts.get("submitted", 0)
+    terminal = (
+        counts.get("completed", 0)
+        + counts.get("failed", 0)
+        + counts.get("shed", 0)
+    )
+    assert submitted == terminal, (
+        f"event imbalance: {submitted} submitted vs {terminal} terminal "
+        f"({counts})"
+    )
+
+
 def run_baseline(requests):
     """Sequential cold pipeline calls (today's one-shot entrypoints)."""
     started = time.perf_counter()
@@ -90,22 +112,75 @@ def run_baseline(requests):
     return time.perf_counter() - started
 
 
-def run_service(requests, store_dir):
+def run_service(requests, store_dir, **client_kwargs):
     sink = ListSink(maxlen=100_000)
     started = time.perf_counter()
-    with ServiceClient(store=store_dir, sink=sink) as client:
+    with ServiceClient(
+        store=store_dir, sink=sink, **client_kwargs
+    ) as client:
         jobs = client.submit_batch(requests)
         reports = client.wait_all(jobs)
     elapsed = time.perf_counter() - started
     assert len(reports) == len(requests)
     assert all(report.fully_exact for report in reports)
-    return elapsed, dict(sink.counts())
+    counts = dict(sink.counts())
+    check_event_invariants(counts)
+    return elapsed, counts
+
+
+def sweep_workers(cpus, smoke):
+    """Worker counts for the scaling curve: powers of two up to cpus."""
+    points = [1]
+    while points[-1] * 2 <= cpus:
+        points.append(points[-1] * 2)
+    if cpus not in points:
+        points.append(cpus)
+    if smoke:
+        points = points[:2]  # 1 and 2: enough to smoke the machinery
+    return points
+
+
+def run_scaling_curve(requests, points):
+    """Process-pool sweep: same batch, fresh store per worker count.
+
+    A fresh store per point means only in-batch dedup collapses repeats
+    -- the cold, non-coalesced portion is what the pool parallelizes,
+    which is the quantity the curve tracks.
+    """
+    rows = []
+    for workers in points:
+        with tempfile.TemporaryDirectory(
+            prefix="polyufc-bench-store-"
+        ) as tmp:
+            clear_memo()
+            elapsed, events = run_service(
+                requests, Path(tmp) / "store",
+                executor="process", workers=workers,
+                store_shards=min(4, max(1, workers)),
+            )
+        base = rows[0]["elapsed_s"] if rows else elapsed
+        rows.append({
+            "workers": workers,
+            "elapsed_s": round(elapsed, 2),
+            "speedup_vs_1": round(base / elapsed, 2),
+            "events": events,
+        })
+        print(
+            f"  workers={workers}: {elapsed:.1f}s "
+            f"({rows[-1]['speedup_vs_1']:.2f}x vs 1 worker)",
+            flush=True,
+        )
+    return rows
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (20 requests, no JSON update)")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="also sweep process-pool worker counts (needs >= 2 CPUs)",
+    )
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -114,6 +189,18 @@ def main(argv=None):
         "root; smoke runs print only)",
     )
     args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    if args.full and cpus < 2:
+        print(
+            "error: --full sweeps process-pool worker counts, which is "
+            f"meaningless on this {cpus}-CPU host -- the curve would "
+            "only measure fork overhead. Run it on a multi-core machine "
+            "(the single-run mode still works here and annotates its "
+            "result with parallelism_limited=true).",
+            file=sys.stderr,
+        )
+        return 2
 
     total = args.requests or (20 if args.smoke else 200)
     kernels = SMOKE_KERNELS if args.smoke else FULL_KERNELS
@@ -139,13 +226,23 @@ def main(argv=None):
     speedup = baseline_s / service_s
     print(f"speedup: {speedup:.1f}x (target >= 5x)")
 
+    scaling = None
+    if args.full:
+        points = sweep_workers(cpus, args.smoke)
+        print(f"scaling curve (process pool, workers in {points}):")
+        scaling = run_scaling_curve(requests, points)
+
     payload = {
         "host": {
             "machine": platform_mod.machine(),
             "python": platform_mod.python_version(),
-            "cpus": os.cpu_count(),
+            "cpus": cpus,
         },
         "smoke": args.smoke,
+        # A 1-CPU run measures dedup + caching only; job-level
+        # parallelism cannot contribute, so its speedup must not be
+        # read as a scaling result.
+        "parallelism_limited": cpus < 2,
         "requests": total,
         "unique_specs": unique,
         "repeat_fraction": round(1 - unique / total, 3),
@@ -155,6 +252,7 @@ def main(argv=None):
         "service_s": round(service_s, 2),
         "speedup": round(speedup, 2),
         "events": events,
+        "scaling": scaling,
     }
     if args.output or not args.smoke:
         out = Path(
@@ -163,7 +261,23 @@ def main(argv=None):
         )
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {out}")
-    return 0 if speedup >= 5.0 or args.smoke else 1
+
+    if args.smoke:
+        return 0
+    if speedup < 5.0:
+        return 1
+    if scaling is not None:
+        at4 = next(
+            (row for row in scaling if row["workers"] == 4), None
+        )
+        if at4 is not None and cpus >= 4 and at4["speedup_vs_1"] < 3.0:
+            print(
+                f"scaling below target: {at4['speedup_vs_1']:.2f}x at "
+                "4 workers (>= 3x expected)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
 
 
 if __name__ == "__main__":

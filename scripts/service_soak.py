@@ -3,21 +3,26 @@
 Drives a live ``ServiceClient`` with a randomized mixed batch (repeats,
 objective variants, both platforms' cheap kernels) for a bounded wall
 time, optionally with faults armed via ``REPRO_FAULTS`` (the CI service
-job arms ``report.write:io:2``).  The full lifecycle event stream is
-written to a JSONL file (uploaded as a CI artifact on failure), and the
-run fails if any invariant breaks:
+job arms ``report.write:io:2``; the multi-core job additionally soaks
+the process pool).  The full lifecycle event stream is written to a
+JSONL file (uploaded as a CI artifact on failure), and the run fails if
+any invariant breaks:
 
-* every job reaches a terminal state before the deadline;
+* every admitted job reaches a terminal state before the deadline;
 * every computed report is exact or visibly degraded (never silently
   wrong);
 * the store contains only fully-exact reports;
-* the event stream is consistent: each job has exactly one of
-  started / cache_hit / coalesced, and exactly one terminal event.
+* the event stream is consistent: each executed job has exactly one of
+  started / cache_hit / coalesced and exactly one terminal event,
+  admission-rejected jobs show exactly ``submitted`` + ``shed``,
+  quota-rejected requests show only ``quota_exceeded``, and globally
+  ``submitted == completed + failed + shed``.
 
 Usage::
 
     PYTHONPATH=src python scripts/service_soak.py \
-        --requests 50 --timeout-s 30 --events service-events.jsonl
+        --requests 50 --timeout-s 30 --events service-events.jsonl \
+        --executor process --workers 2 --shards 2
 """
 
 from __future__ import annotations
@@ -27,14 +32,19 @@ import random
 import sys
 import tempfile
 import time
-from collections import defaultdict
+from collections import Counter, defaultdict
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.service import JobSpec, ServiceClient
+from repro.service import (
+    AdmissionError,
+    JobSpec,
+    QuotaExceeded,
+    ServiceClient,
+)
+from repro.service.client import resolve_store
 from repro.service.events import JsonlSink, ListSink, TeeSink
-from repro.service.store import ResultStore
 
 KERNELS = ["atax", "bicg", "gesummv", "mvt", "trisolv", "sdpa_gemma2"]
 OBJECTIVES = ["edp", "energy", "performance"]
@@ -54,33 +64,55 @@ def build_specs(requests, seed):
     return specs
 
 
-def check_events(events, job_count):
+def check_events(events, admitted, rejected):
     """Event-stream consistency; returns a list of violations."""
     per_job = defaultdict(list)
     for event in events:
         per_job[event.job_id].append(event.kind)
     problems = []
-    if len(per_job) != job_count:
+    if len(per_job) != admitted + rejected:
         problems.append(
-            f"{len(per_job)} jobs in the event stream, expected {job_count}"
+            f"{len(per_job)} jobs in the event stream, expected "
+            f"{admitted} admitted + {rejected} rejected"
         )
     for job_id, kinds in sorted(per_job.items()):
+        if kinds == ["quota_exceeded"]:
+            continue  # quota refusals never enter the system
         if kinds.count("submitted") != 1:
             problems.append(f"{job_id}: {kinds.count('submitted')} submits")
         sources = sum(
             kinds.count(kind)
             for kind in ("started", "cache_hit", "coalesced")
         )
+        terminal = sum(
+            kinds.count(kind) for kind in ("completed", "failed", "shed")
+        )
+        if sources == 0:
+            # Admission rejection: submitted then shed("rejected ..."),
+            # nothing else.
+            if sorted(kinds) != ["shed", "submitted"]:
+                problems.append(
+                    f"{job_id}: no source event but not a clean "
+                    f"rejection, got {kinds}"
+                )
+            continue
         if sources != 1:
             problems.append(
                 f"{job_id}: expected exactly one source event, got {kinds}"
             )
-        terminal = kinds.count("completed") + kinds.count("failed")
         if terminal != 1:
             problems.append(
                 f"{job_id}: expected exactly one terminal event, "
                 f"got {kinds}"
             )
+    counts = Counter(kind for kinds in per_job.values() for kind in kinds)
+    submitted = counts["submitted"]
+    terminal = counts["completed"] + counts["failed"] + counts["shed"]
+    if submitted != terminal:
+        problems.append(
+            f"global imbalance: {submitted} submitted vs "
+            f"{terminal} completed+failed+shed"
+        )
     return problems
 
 
@@ -97,6 +129,19 @@ def main(argv=None):
         "--store", default=None,
         help="store root (default: a fresh temp dir)",
     )
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default=None,
+        help="execution backend (default: REPRO_SERVICE_EXECUTOR / auto)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=None,
+                        help="scheduler shard count")
+    parser.add_argument("--store-shards", type=int, default=None)
+    parser.add_argument(
+        "--max-pending", type=int, default=None,
+        help="per-shard soft bound; beyond it new jobs shed",
+    )
+    parser.add_argument("--client-quota", type=int, default=None)
     args = parser.parse_args(argv)
 
     specs = build_specs(args.requests, args.seed)
@@ -111,10 +156,22 @@ def main(argv=None):
 
     deadline = time.monotonic() + args.timeout_s
     failures = []
+    rejected = 0
     started = time.perf_counter()
     try:
-        with ServiceClient(store=store_dir, sink=sink) as client:
-            jobs = client.submit_batch(specs)
+        with ServiceClient(
+            store=store_dir, sink=sink,
+            executor=args.executor, workers=args.workers,
+            shards=args.shards, store_shards=args.store_shards,
+            max_pending=args.max_pending,
+            client_quota=args.client_quota,
+        ) as client:
+            jobs = []
+            for spec in specs:
+                try:
+                    jobs.append(client.submit(spec))
+                except (AdmissionError, QuotaExceeded):
+                    rejected += 1
             for job in jobs:
                 remaining = max(0.0, deadline - time.monotonic())
                 try:
@@ -133,7 +190,7 @@ def main(argv=None):
             elapsed = time.perf_counter() - started
             counts = dict(memory.counts())
 
-            store = ResultStore(Path(store_dir))
+            store = resolve_store(store_dir, shards=args.store_shards)
             for row in store.query():
                 report = store.get_report(row["digest"])
                 if report is not None and not report.fully_exact:
@@ -141,14 +198,17 @@ def main(argv=None):
                         f"store serves degraded report {row['digest']}"
                     )
 
-            failures.extend(check_events(memory.events(), len(jobs)))
+            failures.extend(
+                check_events(memory.events(), len(jobs), rejected)
+            )
     finally:
         if tmp is not None:
             tmp.cleanup()
 
     print(
-        f"soak: {args.requests} requests in {elapsed:.1f}s "
-        f"(deadline {args.timeout_s:.0f}s), events={counts}"
+        f"soak: {args.requests} requests ({rejected} rejected at "
+        f"admission) in {elapsed:.1f}s (deadline {args.timeout_s:.0f}s), "
+        f"executor={client.scheduler.executor}, events={counts}"
     )
     if failures:
         print(f"{len(failures)} invariant violation(s):")

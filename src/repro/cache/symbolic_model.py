@@ -1353,15 +1353,52 @@ def _enumerate_windows(
         total = int(c.sum())
         if not total:
             continue
-        row_rep = np.repeat(np.arange(n_u, dtype=np.int64), c)
-        starts = np.repeat(a, c)
-        firsts = np.repeat(np.cumsum(c) - c, c)
-        ranks = starts + np.arange(total, dtype=np.int64) - firsts
-        lines = _lines_at_ranks(member, ranks)
-        if s_sets > 1:
-            keep = lines % s_sets == sigma_u[row_rep]
-            row_rep = row_rep[keep]
-            lines = lines[keep]
+        # Hard rows of one box share most of their windows: the summed
+        # span is often far larger than the global rank range they
+        # cover.  Unrank each rank once over that range and bucket the
+        # positions by set residue -- each row then slices only its own
+        # set's positions out of its window, so the per-instance arrays
+        # scale with the *kept* volume (total / s_sets), not the raw
+        # window volume (the residue-split SA boxes hit this hardest).
+        live = c > 0
+        rmin = int(a[live].min())
+        rmax = int((a + c)[live].max())
+        rng = rmax - rmin
+        if rng <= total:
+            lines_all = _lines_at_ranks(
+                member, np.arange(rmin, rmax, dtype=np.int64)
+            )
+            if s_sets > 1:
+                order = np.argsort(
+                    lines_all % s_sets, kind="stable"
+                ).astype(np.int64)
+                keys = (lines_all % s_sets)[order] * rng + order
+                lo_i = np.searchsorted(keys, sigma_u * rng + (a - rmin))
+                hi_i = np.searchsorted(
+                    keys, sigma_u * rng + (a + c - rmin)
+                )
+                c2 = hi_i - lo_i
+                row_rep = np.repeat(np.arange(n_u, dtype=np.int64), c2)
+                pos = np.repeat(
+                    lo_i - (np.cumsum(c2) - c2), c2
+                ) + np.arange(int(c2.sum()), dtype=np.int64)
+                lines = lines_all[order[pos]]
+            else:
+                row_rep = np.repeat(np.arange(n_u, dtype=np.int64), c)
+                ranks = np.repeat(a - (np.cumsum(c) - c), c) + np.arange(
+                    total, dtype=np.int64
+                )
+                lines = lines_all[ranks - rmin]
+        else:
+            row_rep = np.repeat(np.arange(n_u, dtype=np.int64), c)
+            ranks = np.repeat(a - (np.cumsum(c) - c), c) + np.arange(
+                total, dtype=np.int64
+            )
+            lines = _lines_at_ranks(member, ranks)
+            if s_sets > 1:
+                keep = lines % s_sets == sigma_u[row_rep]
+                row_rep = row_rep[keep]
+                lines = lines[keep]
         if sortfree:
             if lines.size:
                 run_start = np.empty(lines.size, dtype=bool)
@@ -1394,6 +1431,52 @@ def _enumerate_windows(
     return dist
 
 
+def _sweep_intervals(
+    members: List[_LineBox],
+    a_by: Dict[int, np.ndarray],
+    b_by: Dict[int, np.ndarray],
+    sigma: np.ndarray,
+    s_sets: int,
+) -> np.ndarray:
+    """Exact distinct same-set line counts for interval-image members.
+
+    Every member must be monotone and contiguous, so its window ``[a,
+    b)`` touches exactly the lines ``[lines(a), lines(b - 1)]``.  The
+    per-row union of those k intervals is swept in sorted order with the
+    mod-``S`` closed form per segment (the same sweep the enumeration
+    fast path uses, vectorized over all rows at once).
+    """
+    rows = sigma.shape[0]
+    k = len(members)
+    los = np.full((k, rows), _INF, dtype=np.int64)
+    his = np.full((k, rows), -_INF, dtype=np.int64)
+    for i, member in enumerate(members):
+        a = a_by[id(member)]
+        b = b_by[id(member)]
+        ok = a < b
+        if not ok.any():
+            continue
+        los[i] = np.where(
+            ok, _lines_at_ranks(member, np.where(ok, a, 0)), _INF
+        )
+        his[i] = np.where(
+            ok, _lines_at_ranks(member, np.where(ok, b - 1, 0)), -_INF
+        )
+    if k > 1:
+        order = np.argsort(los, axis=0)
+        los = np.take_along_axis(los, order, axis=0)
+        his = np.take_along_axis(his, order, axis=0)
+    cur = np.full(rows, -_INF, dtype=np.int64)
+    dist = np.zeros(rows, dtype=np.int64)
+    for i in range(k):
+        valid = los[i] < _INF
+        start = np.maximum(los[i], cur + 1)
+        counted = (his[i] - sigma) // s_sets - (start - 1 - sigma) // s_sets
+        dist += np.where(valid & (his[i] >= start), counted, 0)
+        cur = np.maximum(cur, np.where(valid, his[i], -_INF))
+    return dist
+
+
 def _decide_hard(
     members: List[_LineBox],
     t: np.ndarray,
@@ -1419,14 +1502,36 @@ def _decide_hard(
         a_by[id(member)] = _rank_lt(member, pred + 1)
         b_by[id(member)] = _rank_lt(member, t)
 
-    groups: Dict[object, List[_LineBox]] = {}
-    for member in members:
-        groups.setdefault(_lattice_sig(member), []).append(member)
-
-    gap_by: Dict[int, np.ndarray] = {}
     members_by: Dict[int, List[_LineBox]] = {}
     for member in members:
         members_by.setdefault(member.buffer_id, []).append(member)
+
+    # Buffers all of whose members walk monotone, gapless line orders
+    # admit an exact count without the interval-family machinery: each
+    # member's window image is one contiguous line interval, and the
+    # k-interval sweep counts the union's sigma-class members in closed
+    # form.  On SA hierarchies this takes the row-major boxes (the bulk
+    # of a matmul's accesses) off the per-family AP path entirely.
+    exact_by: Dict[int, np.ndarray] = {}
+    for buffer_id, buf_members in members_by.items():
+        if all(
+            _monotone_lines(m) and _contiguous_lines(m)
+            for m in buf_members
+        ):
+            exact_by[buffer_id] = _sweep_intervals(
+                buf_members, a_by, b_by, sigma, s_sets
+            )
+
+    groups: Dict[object, List[_LineBox]] = {}
+    for member in members:
+        if member.buffer_id in exact_by:
+            continue
+        groups.setdefault(_lattice_sig(member), []).append(member)
+
+    gap_by: Dict[int, np.ndarray] = {}
+    for member in members:
+        if member.buffer_id in exact_by:
+            continue
         gap_by.setdefault(
             member.buffer_id, np.zeros(rows, dtype=bool)
         )
@@ -1485,6 +1590,11 @@ def _decide_hard(
     ub = np.zeros(rows, dtype=np.int64)
     lb_by: Dict[int, np.ndarray] = {}
     ub_by: Dict[int, np.ndarray] = {}
+    for buffer_id, dist in exact_by.items():
+        lb_by[buffer_id] = dist
+        ub_by[buffer_id] = dist
+        lb += dist
+        ub += dist
     for buffer_id, entries in by_buffer.items():
         best = np.max(np.stack([lo for lo, _hi, _meta in entries]), axis=0)
         classes: Dict[Tuple[int, bool], List[int]] = {}

@@ -159,6 +159,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler pool width (default: $REPRO_CM_WORKERS or serial)",
     )
     serve.add_argument(
+        "--executor", default=None, choices=["thread", "process"],
+        help="execution backend (default: $REPRO_SERVICE_EXECUTOR, "
+        "else process on multi-core hosts, thread on single-core)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="scheduler shard count (default: $REPRO_SERVICE_SHARDS "
+        "or the pool width)",
+    )
+    serve.add_argument(
+        "--store-shards", type=int, default=None, metavar="N",
+        help="result-store shard directories (default: "
+        "$REPRO_STORE_SHARDS or 1, the unsharded layout)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="per-shard queue depth beyond which new jobs are shed to "
+        "the timeout-cap rung (default: unbounded)",
+    )
+    serve.add_argument(
+        "--client-quota", type=int, default=None, metavar="N",
+        help="max in-flight jobs per client (default: unlimited)",
+    )
+    serve.add_argument(
         "--once", action="store_true",
         help="handle exactly one request then exit (smoke tests)",
     )
@@ -442,24 +466,22 @@ def _cmd_fuzz(
     return 1 if stats.failures else exit_code
 
 
-def _cmd_serve(
-    host: str,
-    port: Optional[int],
-    store: Optional[str],
-    workers: Optional[int],
-    once: bool,
-    port_file: Optional[str],
-) -> int:
+def _cmd_serve(args) -> int:
     from repro.service import serve
     from repro.service.http import DEFAULT_PORT
 
     return serve(
-        host=host,
-        port=DEFAULT_PORT if port is None else port,
-        once=once,
-        port_file=port_file,
-        store=store,
-        workers=workers,
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        once=args.once,
+        port_file=args.port_file,
+        store=args.store,
+        workers=args.workers,
+        executor=args.executor,
+        shards=args.shards,
+        store_shards=args.store_shards,
+        max_pending=args.max_pending,
+        client_quota=args.client_quota,
     )
 
 
@@ -642,10 +664,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.corpus, args.replay_only, args.artifacts,
         )
     if args.command == "serve":
-        return _cmd_serve(
-            args.host, args.port, args.store, args.workers,
-            args.once, args.port_file,
-        )
+        return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "status":

@@ -23,6 +23,9 @@ Kinds
   fires; with a deadline armed this simulates a pathologically slow unit.
 * ``corrupt`` -- :func:`mangle` returns a corrupted copy of the payload
   passing through the site (exercises checksum validation + quarantine).
+* ``die``     -- ``os._exit`` on the spot (models an OOM-killed or
+  segfaulted service pool worker; arm only at sites that run inside
+  worker processes, e.g. ``service.worker``).
 
 The optional ``arg`` is kind-dependent: for ``slow`` it is the sleep in
 seconds; for the other kinds an integer ``n >= 1`` fires only the first
@@ -57,9 +60,10 @@ KNOWN_SITES = (
     "memo.write",   # CM memo disk write
     "report.read",  # kernel-report cache read
     "report.write", # kernel-report cache write
+    "service.worker",  # service pool-worker job entry (repro.service.pool)
 )
 
-KINDS = ("fail", "io", "slow", "corrupt")
+KINDS = ("fail", "io", "slow", "corrupt", "die")
 
 _DEFAULT_SLOW_S = 0.05
 
@@ -201,6 +205,13 @@ def fire(site: str) -> None:
         time.sleep(
             found.spec.arg if found.spec.arg is not None else _DEFAULT_SLOW_S
         )
+    if kind == "die":
+        # Hard process death, bypassing all exception handling -- models
+        # an OOM-killed or segfaulted pool worker.  Only meaningful at
+        # sites reached inside service worker processes; arming it in
+        # the main process kills the whole run, which is on the arming
+        # test to avoid.
+        os._exit(23)
     # "corrupt" is a data-path fault; nothing to do at a control point.
 
 

@@ -6,17 +6,24 @@ entrypoint shares (see ``docs/SERVICE.md``):
 
 * :mod:`repro.service.spec` -- :class:`JobSpec` and the canonical
   content digests (kernel, platform, objective, epsilon, engine, model
-  versions) that key the store.
+  versions) that key the store, plus the consistent digest -> shard
+  routing (:func:`shard_for`).
 * :mod:`repro.service.store` -- the hardened, content-addressed
   :class:`ResultStore` (reports + shared hardware workloads + queryable
-  index).
+  index) and its digest-sharded variant :class:`ShardedResultStore`.
 * :mod:`repro.service.executor` -- the single compute path from a spec
   to a :class:`~repro.mlpolyufc.reports.KernelReport`.
+* :mod:`repro.service.pool` -- the pluggable execution backends: the
+  ``process`` pool (real multi-core scaling; spec/report JSON is the
+  wire format) and the inline ``thread`` path
+  (``REPRO_SERVICE_EXECUTOR`` selects).
 * :mod:`repro.service.scheduler` -- async batch :class:`Scheduler` with
-  in-flight dedup, worker-pool sharding, per-job deadlines and the
-  structured lifecycle event stream.
+  consistent-hash shard routing, in-flight dedup, admission control
+  (bounded shard queues, load shedding, per-client quotas), per-job
+  deadlines and the structured lifecycle event stream.
 * :mod:`repro.service.client` -- the in-process :class:`ServiceClient`
-  facade used by ``repro.experiments`` and the benchmarks.
+  facade used by ``repro.experiments`` and the benchmarks, including
+  the streaming batch API (:meth:`ServiceClient.stream_batch`).
 * :mod:`repro.service.http` -- the stdlib-only HTTP/JSON front behind
   ``repro.cli serve``.
 """
@@ -33,15 +40,26 @@ from repro.service.events import (
 )
 from repro.service.executor import execute_report
 from repro.service.http import make_server, request_json, serve
-from repro.service.scheduler import Job, Scheduler
+from repro.service.pool import EXECUTOR_KINDS, resolve_executor
+from repro.service.scheduler import (
+    AdmissionError,
+    Job,
+    QuotaExceeded,
+    Scheduler,
+)
 from repro.service.spec import (
     OBJECTIVES,
     PLATFORM_NAMES,
     SPEC_VERSION,
     JobSpec,
     model_versions,
+    shard_for,
 )
-from repro.service.store import ResultStore, store_root
+from repro.service.store import (
+    ResultStore,
+    ShardedResultStore,
+    store_root,
+)
 
 __all__ = [
     "ServiceClient",
@@ -57,13 +75,19 @@ __all__ = [
     "make_server",
     "request_json",
     "serve",
+    "EXECUTOR_KINDS",
+    "resolve_executor",
+    "AdmissionError",
     "Job",
+    "QuotaExceeded",
     "Scheduler",
     "OBJECTIVES",
     "PLATFORM_NAMES",
     "SPEC_VERSION",
     "JobSpec",
     "model_versions",
+    "shard_for",
     "ResultStore",
+    "ShardedResultStore",
     "store_root",
 ]

@@ -3,75 +3,120 @@
 :class:`ServiceClient` is what the experiment runner, the benchmarks and
 the CLI's local mode use; the HTTP front (``repro.service.http``) wraps
 the same object, so in-process and over-the-wire callers see identical
-semantics.
+semantics.  Every submission carries a client identity (defaulting to
+one per :class:`ServiceClient` instance), which is what the scheduler's
+per-client quota meters; the HTTP front substitutes the remote caller's
+identity so each HTTP client gets its own quota slot.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.mlpolyufc.reports import KernelReport
 from repro.service.events import EventSink, ListSink
 from repro.service.scheduler import Job, Scheduler
 from repro.service.spec import JobSpec
-from repro.service.store import ResultStore
+from repro.service.store import (
+    ResultStore,
+    ShardedResultStore,
+    resolve_store_shards,
+)
 
 #: Pass as ``store=`` to disable persistence outright.
 NO_STORE = False
 
 
 def resolve_store(
-    store: Union[None, bool, str, Path, ResultStore] = None,
-) -> Optional[ResultStore]:
+    store: Union[None, bool, str, Path, ResultStore, ShardedResultStore]
+    = None,
+    shards: Optional[int] = None,
+) -> Union[None, ResultStore, ShardedResultStore]:
     """Store resolution: explicit object/path > env policy.
 
     ``None`` (default) honours ``REPRO_NO_CACHE=1``; ``False`` disables
-    the store; a path or :class:`ResultStore` pins it.
+    the store; a path or store object pins it.  ``shards`` (explicit arg
+    > ``$REPRO_STORE_SHARDS`` > 1) selects the digest-sharded layout
+    when greater than one; an explicit store *object* is used as-is.
     """
     if store is False:
         return None
-    if isinstance(store, ResultStore):
+    if isinstance(store, (ResultStore, ShardedResultStore)):
         return store
-    if isinstance(store, (str, Path)):
-        return ResultStore(Path(store))
-    if os.environ.get("REPRO_NO_CACHE", "") == "1":
+    if os.environ.get("REPRO_NO_CACHE", "") == "1" and not isinstance(
+        store, (str, Path)
+    ):
         return None
-    return ResultStore()
+    root = Path(store) if isinstance(store, (str, Path)) else None
+    shards = resolve_store_shards(shards)
+    if shards > 1:
+        return ShardedResultStore(root, shards=shards)
+    return ResultStore(root)
 
 
 class ServiceClient:
     """One characterization service endpoint, in process."""
 
+    _instances = 0
+
     def __init__(
         self,
-        store: Union[None, bool, str, Path, ResultStore] = None,
+        store: Union[None, bool, str, Path, ResultStore,
+                     ShardedResultStore] = None,
         workers: Optional[int] = None,
         sink: Optional[EventSink] = None,
         cm_timeout_s: Optional[float] = None,
+        executor: Optional[str] = None,
+        shards: Optional[int] = None,
+        store_shards: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        reject_pending: Optional[int] = None,
+        client_quota: Optional[int] = None,
+        client_id: Optional[str] = None,
     ):
-        self.store = resolve_store(store)
+        self.store = resolve_store(store, shards=store_shards)
         self.sink = sink if sink is not None else ListSink()
+        if client_id is None:
+            ServiceClient._instances += 1
+            client_id = f"local-{os.getpid()}-{ServiceClient._instances}"
+        self.client_id = client_id
         self.scheduler = Scheduler(
             store=self.store,
             workers=workers,
             sink=self.sink,
             cm_timeout_s=cm_timeout_s,
+            executor=executor,
+            shards=shards,
+            max_pending=max_pending,
+            reject_pending=reject_pending,
+            client_quota=client_quota,
         )
 
     # -- job API -------------------------------------------------------
 
-    def submit(self, spec: Union[JobSpec, dict], **kwargs) -> Job:
+    def submit(
+        self,
+        spec: Union[JobSpec, dict],
+        client_id: Optional[str] = None,
+        **kwargs,
+    ) -> Job:
         """Submit one job; ``kwargs`` override/extend a dict spec."""
         if isinstance(spec, dict):
             spec = JobSpec.from_json({**spec, **kwargs})
-        return self.scheduler.submit(spec)
+        return self.scheduler.submit(
+            spec, client_id=client_id or self.client_id
+        )
 
     def submit_batch(
-        self, specs: Sequence[Union[JobSpec, dict]]
+        self,
+        specs: Sequence[Union[JobSpec, dict]],
+        client_id: Optional[str] = None,
     ) -> List[Job]:
-        return self.scheduler.submit_batch(specs)
+        return self.scheduler.submit_batch(
+            specs, client_id=client_id or self.client_id
+        )
 
     def status(self, job_id: str) -> Optional[dict]:
         return self.scheduler.status(job_id)
@@ -85,6 +130,22 @@ class ServiceClient:
         self, jobs: Sequence[Job], timeout: Optional[float] = None
     ) -> List[KernelReport]:
         return self.scheduler.wait_all(jobs, timeout)
+
+    def stream(
+        self, jobs: Sequence[Job], timeout: Optional[float] = None
+    ) -> Iterator[Tuple[Job, Optional[KernelReport], Optional[str]]]:
+        """Yield ``(job, report, error)`` as jobs finish (any order).
+
+        The streaming counterpart of :meth:`wait_all`: results arrive as
+        they complete instead of behind a batch barrier, and a failed
+        job yields its error string instead of raising, so one bad spec
+        never truncates the stream.
+        """
+        for job in self.scheduler.iter_completed(jobs, timeout):
+            try:
+                yield job, job.result(0), None
+            except Exception as exc:  # surfaced per job, not per stream
+                yield job, None, f"{type(exc).__name__}: {exc}"
 
     # -- synchronous conveniences --------------------------------------
 
@@ -107,6 +168,14 @@ class ServiceClient:
         timeout: Optional[float] = None,
     ) -> List[KernelReport]:
         return self.wait_all(self.submit_batch(specs), timeout)
+
+    def stream_batch(
+        self,
+        specs: Sequence[Union[JobSpec, dict]],
+        timeout: Optional[float] = None,
+    ) -> Iterator[Tuple[Job, Optional[KernelReport], Optional[str]]]:
+        """Submit a batch and stream ``(job, report, error)`` triples."""
+        return self.stream(self.submit_batch(specs), timeout)
 
     # -- store passthrough ---------------------------------------------
 

@@ -3,7 +3,10 @@
 Every job the scheduler touches emits a small, flat event stream:
 
 ``submitted``
-    the job entered the system (every submission gets one);
+    the job entered the system (every admitted submission gets one);
+``queued``
+    the job was admitted to a scheduler shard at full fidelity
+    (``detail`` records ``shard=<k> depth=<n>``);
 ``coalesced``
     the submission was deduplicated onto an identical in-flight job
     (``detail`` names the primary job id);
@@ -16,8 +19,21 @@ Every job the scheduler touches emits a small, flat event stream:
 ``degraded``
     the computed report contains non-exact units (``detail`` lists
     ``unit=rung`` pairs);
-``completed`` / ``failed``
-    terminal states, with wall-clock ``duration_ms``.
+``completed`` / ``failed`` / ``shed``
+    terminal states, with wall-clock ``duration_ms``.  ``shed`` is the
+    terminal of a job the admission controller refused to run at full
+    fidelity: either it executed on the cheap ``timeout-cap`` rung
+    (``detail`` starts with ``timeout-cap``; its future still carries
+    the degraded, never-persisted report) or it was rejected outright
+    at the hard queue bound (``detail`` starts with ``rejected``; the
+    submitter got :class:`~repro.service.scheduler.AdmissionError`).
+    Every admitted job ends in exactly one of the three, so
+    ``submitted == completed + failed + shed`` over any quiesced
+    stream;
+``quota_exceeded``
+    a per-client quota rejected the submission before it entered the
+    system (no ``submitted`` is emitted; the submitter got
+    :class:`~repro.service.scheduler.QuotaExceeded`).
 
 Sinks are pluggable and must be thread-safe; the scheduler never lets a
 sink error take a job down.
@@ -35,12 +51,15 @@ from typing import Iterable, List, Optional
 
 EVENT_KINDS = (
     "submitted",
+    "queued",
     "coalesced",
     "cache_hit",
     "started",
     "degraded",
     "completed",
     "failed",
+    "shed",
+    "quota_exceeded",
 )
 
 

@@ -10,6 +10,9 @@ Routes (all JSON)::
     GET  /v1/healthz                 liveness + store stats
     POST /v1/jobs                    {"spec": {...}} or {"specs": [...]}
                                      (+ "wait": true, "timeout_s": t)
+    POST /v1/jobs/stream             {"specs": [...], "timeout_s": t} ->
+                                     chunked NDJSON, one line per job as
+                                     it completes (no batch barrier)
     GET  /v1/jobs                    all job statuses
     GET  /v1/jobs/<id>               one job status
     GET  /v1/jobs/<id>/result        block (up to ?timeout_s=) for report
@@ -17,8 +20,13 @@ Routes (all JSON)::
     GET  /v1/events?kind=&limit=     recent lifecycle events
 
 Malformed requests get ``400`` with ``{"error": ...}``; unknown jobs and
-routes get ``404``.  This front is a trusted-network tool (benchmarking,
-fleet amortization); it binds loopback by default and has no auth.
+routes get ``404``.  Admission control surfaces as ``429`` (the caller
+is at its per-client quota -- callers are identified by the
+``X-Repro-Client`` header, falling back to the peer address) and ``503``
+(a scheduler shard is at its hard queue bound); both carry the jobs that
+were admitted before the refusal.  This front is a trusted-network tool
+(benchmarking, fleet amortization); it binds loopback by default and has
+no auth.
 """
 
 from __future__ import annotations
@@ -33,8 +41,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.service.client import ServiceClient
+from repro.service.scheduler import AdmissionError, QuotaExceeded
 
 log = logging.getLogger("repro.runtime")
+
+#: Header naming the submitting client for per-client quotas.
+CLIENT_HEADER = "X-Repro-Client"
 
 DEFAULT_PORT = 8177
 #: Cap on how long a single HTTP request may block on a result.
@@ -92,27 +104,63 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
 
+    def _client_id(self) -> str:
+        return (
+            self.headers.get(CLIENT_HEADER)
+            or f"http:{self.client_address[0]}"
+        )
+
+    def _submit_specs(self, raw_specs):
+        """Submit one by one: admission refusals keep the admitted jobs.
+
+        Returns ``(jobs, refusal)`` where ``refusal`` is ``None`` or an
+        ``(http_code, message)`` pair from the admission controller.
+        """
+        client_id = self._client_id()
+        jobs = []
+        for raw in raw_specs:
+            try:
+                jobs.append(
+                    self.server.client.submit(raw, client_id=client_id)
+                )
+            except QuotaExceeded as exc:
+                return jobs, (429, str(exc))
+            except AdmissionError as exc:
+                return jobs, (503, str(exc))
+            except (ValueError, TypeError) as exc:  # malformed spec
+                return jobs, (400, str(exc))
+        return jobs, None
+
+    @staticmethod
+    def _parse_specs(body: dict):
+        if "specs" in body:
+            raw_specs = body["specs"]
+            if not isinstance(raw_specs, list) or not raw_specs:
+                raise ValueError("'specs' must be a non-empty list")
+        elif "spec" in body:
+            raw_specs = [body["spec"]]
+        else:
+            raise ValueError("body needs 'spec' or 'specs'")
+        return raw_specs
+
     def do_POST(self):  # noqa: N802 (stdlib casing)
         parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/v1/jobs/stream":
+            return self._post_stream()
         if parsed.path != "/v1/jobs":
             return self._error(404, f"no such route {parsed.path}")
         try:
             body = self._read_body()
-            if "specs" in body:
-                raw_specs = body["specs"]
-                if not isinstance(raw_specs, list) or not raw_specs:
-                    raise ValueError("'specs' must be a non-empty list")
-            elif "spec" in body:
-                raw_specs = [body["spec"]]
-            else:
-                raise ValueError("body needs 'spec' or 'specs'")
+            raw_specs = self._parse_specs(body)
             wait = bool(body.get("wait", False))
             timeout_s = min(
                 float(body.get("timeout_s", MAX_WAIT_S)), MAX_WAIT_S
             )
-            jobs = self.server.client.submit_batch(raw_specs)
         except (ValueError, TypeError, json.JSONDecodeError) as exc:
             return self._error(400, str(exc))
+        jobs, refusal = self._submit_specs(raw_specs)
+        if refusal is not None and refusal[0] == 400:
+            return self._error(400, refusal[1])
         rows = []
         for job in jobs:
             row = self.server.client.status(job.job_id)
@@ -125,7 +173,52 @@ class _Handler(BaseHTTPRequestHandler):
                     row = self.server.client.status(job.job_id)
                     row["error"] = row.get("error") or str(exc)
             rows.append(row)
+        if refusal is not None:
+            code, message = refusal
+            return self._send(code, {"error": message, "jobs": rows})
         self._send(200, {"jobs": rows})
+
+    def _post_stream(self) -> None:
+        """Chunked NDJSON: one line per job, written as it completes."""
+        try:
+            body = self._read_body()
+            raw_specs = self._parse_specs(body)
+            timeout_s = min(
+                float(body.get("timeout_s", MAX_WAIT_S)), MAX_WAIT_S
+            )
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            return self._error(400, str(exc))
+        jobs, refusal = self._submit_specs(raw_specs)
+        if refusal is not None:
+            # Refused before any bytes went out: plain status response
+            # (already-admitted jobs keep running; the store keeps
+            # their results).
+            return self._error(refusal[0], refusal[1])
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def chunk(payload: dict) -> None:
+            line = json.dumps(payload).encode() + b"\n"
+            self.wfile.write(f"{len(line):X}\r\n".encode())
+            self.wfile.write(line + b"\r\n")
+            self.wfile.flush()
+
+        try:
+            stream = self.server.client.stream(jobs, timeout=timeout_s)
+            for job, report, error in stream:
+                row = self.server.client.status(job.job_id)
+                if report is not None:
+                    row["report"] = report.to_json()
+                if error is not None:
+                    row["error"] = row.get("error") or error
+                chunk(row)
+        except TimeoutError as exc:
+            chunk({"error": str(exc), "timeout": True})
+        except BrokenPipeError:  # client went away mid-stream
+            return
+        self.wfile.write(b"0\r\n\r\n")
 
     def do_GET(self):  # noqa: N802 (stdlib casing)
         parsed = urllib.parse.urlsplit(self.path)

@@ -1,17 +1,38 @@
-"""Async job scheduler: batching, in-flight dedup, deadlines, events.
+"""Async job scheduler: sharding, dedup, admission control, events.
 
 The scheduler accepts single and batch submissions, content-addresses
-each by its :meth:`JobSpec.digest`, and guarantees that at any moment at
-most one pipeline execution per digest is in flight: concurrent
-identical submissions **coalesce** onto the primary job and share its
-future (event ``coalesced``; the primary is the only one that ever
-emits ``started``).  Completed digests are served from the result store
-(event ``cache_hit``) without occupying pipeline time at all.
+each by its :meth:`JobSpec.digest`, and routes it to a **shard** by
+consistent hashing on the coarser :meth:`JobSpec.workload_digest`
+(:meth:`JobSpec.shard`) -- so jobs that share hardware-side simulator
+counters land together and the store's workload reuse stays shard-local.
+Within a shard, at most one pipeline execution per digest is in flight:
+concurrent identical submissions **coalesce** onto the primary job and
+share its future (event ``coalesced``; the primary is the only one that
+ever emits ``started``).  Identical digests always hash to the same
+shard, so per-shard dedup is exactly global dedup.  Completed digests
+are served from the result store (event ``cache_hit``) without occupying
+pipeline time at all.
 
-Work is sharded across a thread pool whose width follows the
-``REPRO_CM_WORKERS`` semantics (:func:`resolve_workers`); when the pool
-is wider than one, each job runs its per-unit characterization serially
-so job-level parallelism wins (same policy as ``kernel_reports``).
+Execution runs on a pluggable backend (``repro.service.pool``): the
+``process`` backend ships jobs to a process pool as serialized spec /
+report JSON (real multi-core scaling for the CPU-bound pipeline), the
+``thread`` backend runs them inline on the dispatcher threads (the
+1-CPU / deterministic-CI path).  ``REPRO_SERVICE_EXECUTOR`` selects.
+
+Admission control bounds every queue:
+
+* ``max_pending`` per shard: beyond it, new primary jobs are **shed** --
+  they still run, but pinned to the cheap ``timeout-cap`` degradation
+  rung (deadline 0), so overload degrades fidelity instead of queueing
+  unboundedly.  Their futures carry the degraded (never-persisted)
+  report and their terminal event is ``shed``.
+* ``reject_pending`` per shard (default ``4 * max_pending``): the hard
+  bound.  Beyond it even shed work is refused -- the submission gets a
+  ``shed`` event with ``rejected`` detail and :class:`AdmissionError`.
+* ``client_quota``: per-client in-flight cap across shards.  A client at
+  its quota gets ``quota_exceeded`` + :class:`QuotaExceeded`; the
+  request never enters the system (no ``submitted`` event).
+
 Per-job deadlines ride the existing cooperative machinery: the spec's
 ``cm_timeout_s`` (or the scheduler default) becomes a
 :class:`repro.runtime.Deadline` inside the pipeline, and a unit that
@@ -24,23 +45,49 @@ from __future__ import annotations
 
 import itertools
 import logging
+import os
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.mlpolyufc.characterization import resolve_workers
 from repro.mlpolyufc.reports import KernelReport
 from repro.runtime import resolve_timeout
 from repro.service.events import EventSink, ListSink, make_event
-from repro.service.executor import execute_report
+from repro.service.pool import make_backend
 from repro.service.spec import JobSpec
 from repro.service.store import ResultStore
 
 log = logging.getLogger("repro.runtime")
 
-JOB_STATES = ("queued", "running", "completed", "failed")
+JOB_STATES = (
+    "queued", "running", "completed", "failed", "rejected",
+)
+
+SHARDS_ENV = "REPRO_SERVICE_SHARDS"
+
+
+class AdmissionError(RuntimeError):
+    """A shard's hard queue bound refused the submission outright."""
+
+
+class QuotaExceeded(RuntimeError):
+    """The submitting client is at its in-flight quota."""
+
+
+def resolve_shards(shards: Optional[int], width: int) -> int:
+    """Shard count: explicit arg > $REPRO_SERVICE_SHARDS > pool width."""
+    if shards is None:
+        try:
+            shards = int(os.environ.get(SHARDS_ENV, "0")) or None
+        except ValueError:
+            shards = None
+    if shards is None:
+        shards = width
+    return max(1, shards)
 
 
 @dataclass
@@ -51,8 +98,11 @@ class Job:
     spec: JobSpec
     digest: str
     submitted_at: float
+    shard: int = 0
     state: str = "queued"
     source: Optional[str] = None  # "computed" | "store" | "coalesced"
+    shed: bool = False
+    client_id: Optional[str] = None
     error: Optional[str] = None
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -77,16 +127,42 @@ class Scheduler:
         workers: Optional[int] = None,
         sink: Optional[EventSink] = None,
         cm_timeout_s: Optional[float] = None,
+        executor: Optional[str] = None,
+        shards: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        reject_pending: Optional[int] = None,
+        client_quota: Optional[int] = None,
     ):
         self.store = store
         self.sink = sink if sink is not None else ListSink()
         self.width = resolve_workers(workers)
         self.default_timeout_s = cm_timeout_s
+        self.shards = resolve_shards(shards, self.width)
+        self.max_pending = max_pending
+        if reject_pending is None and max_pending is not None:
+            # The hard bound leaves headroom above the shed threshold
+            # (shed jobs are cheap but still occupy slots); max(.., 1)
+            # keeps max_pending=0 ("shed everything") admitting work.
+            reject_pending = max(4 * max_pending, 1)
+        self.reject_pending = reject_pending
+        self.client_quota = client_quota
+        store_root = getattr(store, "root", None)
+        self._backend = make_backend(
+            executor,
+            self.width,
+            store_root=None if store_root is None else str(store_root),
+            store_shards=getattr(store, "shard_count", 1),
+        )
+        self.executor = self._backend.kind
         self._pool = ThreadPoolExecutor(
             max_workers=self.width, thread_name_prefix="repro-service"
         )
         self._lock = threading.Lock()
-        self._inflight: Dict[str, Job] = {}
+        self._inflight: List[Dict[str, Job]] = [
+            {} for _ in range(self.shards)
+        ]
+        self._pending: List[int] = [0] * self.shards
+        self._client_inflight: Dict[str, int] = {}
         self._jobs: Dict[str, Job] = {}
         self._counter = itertools.count(1)
         self._closed = False
@@ -106,31 +182,82 @@ class Scheduler:
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, spec: Union[JobSpec, dict]) -> Job:
-        """Enqueue one job; returns immediately with a tracking handle."""
+    def submit(
+        self,
+        spec: Union[JobSpec, dict],
+        client_id: Optional[str] = None,
+    ) -> Job:
+        """Enqueue one job; returns immediately with a tracking handle.
+
+        Raises :class:`QuotaExceeded` when ``client_id`` is at the
+        per-client quota and :class:`AdmissionError` when the target
+        shard is at its hard queue bound.
+        """
         if isinstance(spec, dict):
             spec = JobSpec.from_json(spec)
         else:
             spec.validate()
         digest = spec.digest()
+        shard = spec.shard(self.shards)
+        client_key = client_id or "anon"
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is shut down")
             job_id = f"j{next(self._counter):08d}"
             job = Job(
-                job_id=job_id, spec=spec, digest=digest,
-                submitted_at=time.time(),
+                job_id=job_id, spec=spec, digest=digest, shard=shard,
+                submitted_at=time.time(), client_id=client_id,
             )
             self._jobs[job_id] = job
-            primary = self._inflight.get(digest)
-            if primary is not None:
-                job.primary_id = primary.job_id
-                job.source = "coalesced"
-                job.future = primary.future
+            if (
+                self.client_quota is not None
+                and self._client_inflight.get(client_key, 0)
+                >= self.client_quota
+            ):
+                job.state = "rejected"
+                job.error = (
+                    f"client {client_key!r} is at its quota "
+                    f"({self.client_quota} in-flight jobs)"
+                )
+                rejection = "quota"
             else:
-                job.future = Future()
-                self._inflight[digest] = job
+                primary = self._inflight[shard].get(digest)
+                depth = self._pending[shard]
+                if primary is not None:
+                    job.primary_id = primary.job_id
+                    job.source = "coalesced"
+                    job.future = primary.future
+                    rejection = None
+                elif (
+                    self.reject_pending is not None
+                    and depth >= self.reject_pending
+                ):
+                    job.state = "rejected"
+                    job.error = (
+                        f"shard {shard} is at its hard queue bound "
+                        f"({depth} pending >= {self.reject_pending})"
+                    )
+                    rejection = "queue"
+                else:
+                    job.shed = (
+                        self.max_pending is not None
+                        and depth >= self.max_pending
+                    )
+                    job.future = Future()
+                    self._inflight[shard][digest] = job
+                    self._pending[shard] = depth + 1
+                    rejection = None
+                if rejection is None:
+                    self._client_inflight[client_key] = (
+                        self._client_inflight.get(client_key, 0) + 1
+                    )
+        if rejection == "quota":
+            self._emit("quota_exceeded", job, detail=job.error)
+            raise QuotaExceeded(job.error)
         self._emit("submitted", job, detail=spec.label())
+        if rejection == "queue":
+            self._emit("shed", job, detail=f"rejected shard={shard}")
+            raise AdmissionError(job.error)
         if job.primary_id is not None:
             self._emit("coalesced", job, detail=job.primary_id)
             # Every job gets a terminal event, coalesced ones included --
@@ -139,8 +266,26 @@ class Scheduler:
                 lambda fut, job=job: self._finish_coalesced(job, fut)
             )
         else:
+            if not job.shed:
+                self._emit(
+                    "queued", job,
+                    detail=f"shard={shard} depth={self._pending[shard]}",
+                )
             self._pool.submit(self._run, job)
         return job
+
+    def _release(self, job: Job, primary: bool) -> None:
+        """Terminal bookkeeping: quota slot, shard depth, dedup entry."""
+        client_key = job.client_id or "anon"
+        with self._lock:
+            count = self._client_inflight.get(client_key, 0)
+            if count <= 1:
+                self._client_inflight.pop(client_key, None)
+            else:
+                self._client_inflight[client_key] = count - 1
+            if primary:
+                self._pending[job.shard] -= 1
+                self._inflight[job.shard].pop(job.digest, None)
 
     def _finish_coalesced(self, job: Job, fut: Future) -> None:
         exc = fut.exception()
@@ -151,6 +296,7 @@ class Scheduler:
                 job.error = f"{type(exc).__name__}: {exc}"
             else:
                 job.state = "completed"
+        self._release(job, primary=False)
         duration_ms = (job.finished_at - job.submitted_at) * 1e3
         if exc is not None:
             self._emit("failed", job, detail=job.error,
@@ -160,10 +306,12 @@ class Scheduler:
                        duration_ms=duration_ms)
 
     def submit_batch(
-        self, specs: Sequence[Union[JobSpec, dict]]
+        self,
+        specs: Sequence[Union[JobSpec, dict]],
+        client_id: Optional[str] = None,
     ) -> List[Job]:
         """Submit many jobs; duplicates inside the batch coalesce too."""
-        return [self.submit(spec) for spec in specs]
+        return [self.submit(spec, client_id=client_id) for spec in specs]
 
     # -- execution -----------------------------------------------------
 
@@ -176,22 +324,29 @@ class Scheduler:
             if self.store is not None:
                 report = self.store.get_report(job.digest)
             if report is not None:
+                # A stored exact report beats shedding: serve it.
                 job.source = "store"
+                job.shed = False
                 self._emit("cache_hit", job)
             else:
                 job.source = "computed"
                 self._emit("started", job, detail=job.spec.label())
-                timeout = (
-                    job.spec.cm_timeout_s
-                    if job.spec.cm_timeout_s is not None
-                    else resolve_timeout(self.default_timeout_s)
-                )
+                if job.shed:
+                    # Deadline 0: every unit takes the timeout-cap rung
+                    # immediately, so the job costs compile time only.
+                    timeout = 0.0
+                else:
+                    timeout = (
+                        job.spec.cm_timeout_s
+                        if job.spec.cm_timeout_s is not None
+                        else resolve_timeout(self.default_timeout_s)
+                    )
                 inner_workers = 1 if self.width > 1 else None
-                report = execute_report(
+                report = self._backend.run(
                     job.spec,
-                    store=self.store,
-                    workers=inner_workers,
-                    cm_timeout_s=timeout,
+                    self.store,
+                    inner_workers,
+                    timeout,
                 )
                 if not report.fully_exact:
                     job.degraded_units = report.degraded_units
@@ -203,7 +358,7 @@ class Scheduler:
                             if unit.degraded != "exact"
                         ),
                     )
-                if self.store is not None:
+                if self.store is not None and not job.shed:
                     # No-op for degraded reports (store policy).
                     self.store.put_report(job.spec, report)
         except BaseException as exc:
@@ -211,7 +366,7 @@ class Scheduler:
                 job.state = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.finished_at = time.time()
-                self._inflight.pop(job.digest, None)
+            self._release(job, primary=True)
             self._emit(
                 "failed", job, detail=job.error,
                 duration_ms=(job.finished_at - job.submitted_at) * 1e3,
@@ -221,11 +376,19 @@ class Scheduler:
         with self._lock:
             job.state = "completed"
             job.finished_at = time.time()
-            self._inflight.pop(job.digest, None)
-        self._emit(
-            "completed", job, detail=job.source or "",
-            duration_ms=(job.finished_at - job.submitted_at) * 1e3,
-        )
+        self._release(job, primary=True)
+        duration_ms = (job.finished_at - job.submitted_at) * 1e3
+        if job.shed:
+            self._emit(
+                "shed", job,
+                detail=f"timeout-cap shard={job.shard}",
+                duration_ms=duration_ms,
+            )
+        else:
+            self._emit(
+                "completed", job, detail=job.source or "",
+                duration_ms=duration_ms,
+            )
         job.future.set_result(report)
 
     # -- introspection -------------------------------------------------
@@ -262,6 +425,8 @@ class Scheduler:
             "platform": job.spec.platform,
             "objective": job.spec.objective,
             "source": job.source,
+            "shard": job.shard,
+            "shed": (primary or job).shed,
             "error": error,
             "degraded_units": degraded,
             "coalesced_into": job.primary_id,
@@ -298,7 +463,42 @@ class Scheduler:
             reports.append(job.result(remaining))
         return reports
 
+    def iter_completed(
+        self, jobs: Sequence[Job], timeout: Optional[float] = None
+    ) -> Iterator[Job]:
+        """Yield ``jobs`` as they finish (streaming, not batch-barrier).
+
+        Coalesced jobs are yielded right after their primary, since they
+        share its future.  Each yielded job is done: ``job.result(0)``
+        returns (or raises) immediately.  On ``timeout`` the generator
+        raises ``TimeoutError`` with the unfinished jobs still pending.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        by_future: Dict[Future, List[Job]] = {}
+        for job in jobs:
+            by_future.setdefault(job.future, []).append(job)
+        outstanding = set(by_future)
+        while outstanding:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            done, outstanding = futures_wait(
+                outstanding, timeout=remaining,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                raise TimeoutError(
+                    f"{sum(len(by_future[f]) for f in outstanding)} "
+                    f"jobs unfinished after {timeout}s"
+                )
+            for future in done:
+                yield from by_future[future]
+
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
             self._closed = True
         self._pool.shutdown(wait=wait)
+        self._backend.close()

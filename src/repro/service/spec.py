@@ -41,6 +41,19 @@ OBJECTIVES = ("edp", "energy", "performance")
 PLATFORM_NAMES = ("rpl", "bdw")
 
 
+def shard_for(digest: str, shards: int) -> int:
+    """Consistent digest -> shard routing (stable across processes).
+
+    The digest is already a uniform SHA-256, so its leading 64 bits mod
+    ``shards`` is an even, deterministic partition: every process (and
+    every host) maps the same digest to the same shard, which is what
+    keeps in-flight dedup and workload-counter reuse shard-local.
+    """
+    if shards <= 1:
+        return 0
+    return int(digest[:16], 16) % shards
+
+
 def model_versions() -> dict:
     """The version tuple folded into every digest."""
     return {
@@ -194,6 +207,17 @@ class JobSpec:
             raise ValueError("job spec is missing 'benchmark'")
         spec = cls(**data)
         return spec.validate()
+
+    def shard(self, shards: int) -> int:
+        """The scheduler shard this spec routes to.
+
+        Routing hashes the **workload** digest, not the full digest, so
+        jobs that share hardware-side counters land on the same shard
+        and the counter reuse in ``execute_report`` stays shard-local.
+        Identical full digests share a workload digest a fortiori, so
+        in-flight dedup is shard-local too.
+        """
+        return shard_for(self.workload_digest(), shards)
 
     def label(self) -> str:
         """Short human-readable identity for logs and events."""

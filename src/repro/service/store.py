@@ -10,6 +10,13 @@ Layout (under :func:`store_root`, relocatable via ``REPRO_STORE_DIR`` or
                                         epsilon / overhead / engine
       index.json                      digest -> queryable summary row
 
+:class:`ShardedResultStore` splits that layout into N digest-routed
+shard directories (``shard-00/ .. shard-NN/``, each a full
+:class:`ResultStore`), so shards can live on different disks or hosts;
+objects route by digest prefix (:func:`repro.service.spec.shard_for`),
+queries fan in across every shard, and each shard's index rebuilds
+independently.
+
 Every object rides the same hardened discipline as the rest of the
 persistent caches (``repro.runtime.io``): checksummed ``repro-envelope``
 payloads, per-writer temp files published with ``os.replace``, and
@@ -51,11 +58,22 @@ from repro.runtime import (
     quarantine_file,
     read_checked_json,
 )
-from repro.service.spec import JobSpec
+from repro.service.spec import JobSpec, shard_for
 
 log = logging.getLogger("repro.runtime")
 
 STORE_DIR_ENV = "REPRO_STORE_DIR"
+STORE_SHARDS_ENV = "REPRO_STORE_SHARDS"
+
+
+def resolve_store_shards(shards: Optional[int] = None) -> int:
+    """Shard count: explicit arg > $REPRO_STORE_SHARDS > 1 (unsharded)."""
+    if shards is None:
+        try:
+            shards = int(os.environ.get(STORE_SHARDS_ENV, "1"))
+        except ValueError:
+            shards = 1
+    return max(1, shards)
 
 
 def store_root() -> Path:
@@ -91,6 +109,9 @@ def _index_row(spec: JobSpec, report: KernelReport, digest: str) -> dict:
 
 class ResultStore:
     """Content-addressed report + workload store with a queryable index."""
+
+    #: Uniform introspection with :class:`ShardedResultStore`.
+    shard_count = 1
 
     def __init__(self, root: Optional[Path] = None):
         self.root = Path(root) if root is not None else store_root()
@@ -348,4 +369,98 @@ class ResultStore:
             "reports": reports,
             "workloads": workloads,
             "indexed": len(self._load_index()),
+        }
+
+
+class ShardedResultStore:
+    """N digest-routed :class:`ResultStore` shards behind one facade.
+
+    Routing is by digest prefix (:func:`repro.service.spec.shard_for`):
+    report objects route on the spec digest, workload objects on the
+    workload digest -- both deterministic across processes and hosts, so
+    a pool worker and its parent scheduler open independent handles and
+    still agree on every object's location.  Reads and writes are
+    shard-local; :meth:`query`, :meth:`stats` and :meth:`rebuild_index`
+    fan in across every shard.
+    """
+
+    def __init__(self, root: Optional[Path] = None, shards: int = 2):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.root = Path(root) if root is not None else store_root()
+        self.shard_count = shards
+        self.shards = [
+            ResultStore(self.root / f"shard-{index:02d}")
+            for index in range(shards)
+        ]
+
+    def shard_of(self, digest: str) -> ResultStore:
+        return self.shards[shard_for(digest, self.shard_count)]
+
+    # -- reports -------------------------------------------------------
+
+    def put_report(
+        self, spec: JobSpec, report: KernelReport
+    ) -> Optional[Path]:
+        return self.shard_of(spec.digest()).put_report(spec, report)
+
+    def get_report(self, digest: str) -> Optional[KernelReport]:
+        return self.shard_of(digest).get_report(digest)
+
+    def has_report(self, digest: str) -> bool:
+        return self.shard_of(digest).has_report(digest)
+
+    def report_path(self, digest: str) -> Path:
+        return self.shard_of(digest).report_path(digest)
+
+    # -- workloads -----------------------------------------------------
+
+    def put_workload(self, digest: str, units: List[dict]) -> Optional[Path]:
+        return self.shard_of(digest).put_workload(digest, units)
+
+    def get_workload(self, digest: str) -> Optional[List[dict]]:
+        return self.shard_of(digest).get_workload(digest)
+
+    def workload_path(self, digest: str) -> Path:
+        return self.shard_of(digest).workload_path(digest)
+
+    # -- fan-in --------------------------------------------------------
+
+    def rebuild_index(self) -> Dict[str, dict]:
+        rows: Dict[str, dict] = {}
+        for shard in self.shards:
+            rows.update(shard.rebuild_index())
+        return rows
+
+    def query(self, *, limit: Optional[int] = None, **filters) -> List[dict]:
+        """Cross-shard fan-in: per-shard queries, one merged sort.
+
+        Each shard already returns rows in the deterministic
+        (benchmark, platform, objective, digest) order; the fan-in
+        re-sorts the union on the same key, so the result is identical
+        to an unsharded store over the same objects.  ``limit`` applies
+        after the merge.
+        """
+        rows: List[dict] = []
+        for shard in self.shards:
+            rows.extend(shard.query(**filters))
+        rows.sort(
+            key=lambda row: (
+                row["benchmark"], row["platform"],
+                row["objective"], row["digest"],
+            )
+        )
+        if limit is not None:
+            rows = rows[: max(0, int(limit))]
+        return rows
+
+    def stats(self) -> dict:
+        per_shard = [shard.stats() for shard in self.shards]
+        return {
+            "root": str(self.root),
+            "shards": self.shard_count,
+            "reports": sum(row["reports"] for row in per_shard),
+            "workloads": sum(row["workloads"] for row in per_shard),
+            "indexed": sum(row["indexed"] for row in per_shard),
+            "per_shard": per_shard,
         }

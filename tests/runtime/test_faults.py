@@ -51,7 +51,7 @@ class TestParsing:
             FaultSpec("s", "fail", arg=0)
 
     def test_kind_list_is_closed(self):
-        assert set(KINDS) == {"fail", "io", "slow", "corrupt"}
+        assert set(KINDS) == {"fail", "io", "slow", "corrupt", "die"}
 
 
 class TestInjection:

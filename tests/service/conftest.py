@@ -1,0 +1,16 @@
+"""Service test defaults.
+
+The execution backend defaults to ``process`` on multi-core hosts, but
+most service tests assert on fault-injection frames, monkeypatched
+environments and in-process store doubles -- state that lives in the
+parent process.  Pin the suite to the deterministic in-thread backend;
+tests that exercise the process pool pass ``executor="process"``
+explicitly (the argument outranks the environment).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _thread_executor(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_EXECUTOR", "thread")

@@ -115,7 +115,9 @@ def test_failed_jobs_surface_the_error_and_release_the_slot(
     def boom(*args, **kwargs):
         raise RuntimeError("synthetic executor crash")
 
-    monkeypatch.setattr(scheduler_module, "execute_report", boom)
+    # The thread backend resolves execute_report at call time, so
+    # patching the executor module reaches it.
+    monkeypatch.setattr("repro.service.executor.execute_report", boom)
     spec = JobSpec(benchmark=KERNEL)
     sched = make_scheduler(store, sink)
     try:
