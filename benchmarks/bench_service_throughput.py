@@ -36,6 +36,7 @@ import random
 import sys
 import tempfile
 import time
+from collections import Counter
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
@@ -87,7 +88,12 @@ def build_requests(kernels, total, repeat_fraction, seed):
 
 
 def check_event_invariants(counts: dict) -> None:
-    """The quiesced stream must balance (see docs/SERVICE.md)."""
+    """The quiesced stream must balance (see docs/SERVICE.md).
+
+    Only the lifecycle kinds participate: informational events
+    (``degraded``, ``failover``) ride inside a normal lifecycle and
+    never unbalance the ledger.
+    """
     submitted = counts.get("submitted", 0)
     terminal = (
         counts.get("completed", 0)
@@ -120,12 +126,15 @@ def run_service(requests, store_dir, **client_kwargs):
     ) as client:
         jobs = client.submit_batch(requests)
         reports = client.wait_all(jobs)
+        served_by = Counter(
+            row["served_by"] for row in client.scheduler.jobs()
+        )
     elapsed = time.perf_counter() - started
     assert len(reports) == len(requests)
     assert all(report.fully_exact for report in reports)
     counts = dict(sink.counts())
     check_event_invariants(counts)
-    return elapsed, counts
+    return elapsed, counts, dict(served_by)
 
 
 def sweep_workers(cpus, smoke):
@@ -153,7 +162,7 @@ def run_scaling_curve(requests, points):
             prefix="polyufc-bench-store-"
         ) as tmp:
             clear_memo()
-            elapsed, events = run_service(
+            elapsed, events, served_by = run_service(
                 requests, Path(tmp) / "store",
                 executor="process", workers=workers,
                 store_shards=min(4, max(1, workers)),
@@ -164,6 +173,7 @@ def run_scaling_curve(requests, points):
             "elapsed_s": round(elapsed, 2),
             "speedup_vs_1": round(base / elapsed, 2),
             "events": events,
+            "served_by": served_by,
         })
         print(
             f"  workers={workers}: {elapsed:.1f}s "
@@ -215,8 +225,10 @@ def main(argv=None):
     print("service pass (batched, dedup + store + workload sharing):")
     with tempfile.TemporaryDirectory(prefix="polyufc-bench-store-") as tmp:
         clear_memo()
-        service_s, events = run_service(requests, Path(tmp) / "store")
-    print(f"  {service_s:.1f}s  events={events}")
+        service_s, events, served_by = run_service(
+            requests, Path(tmp) / "store"
+        )
+    print(f"  {service_s:.1f}s  events={events}  served_by={served_by}")
 
     print("baseline pass (sequential cold pipeline calls):")
     clear_memo()
@@ -252,6 +264,7 @@ def main(argv=None):
         "service_s": round(service_s, 2),
         "speedup": round(speedup, 2),
         "events": events,
+        "served_by": served_by,
         "scaling": scaling,
     }
     if args.output or not args.smoke:

@@ -183,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="max in-flight jobs per client (default: unlimited)",
     )
     serve.add_argument(
+        "--shard-map", default=None, metavar="PATH_OR_JSON",
+        help="cross-host shard map: a JSON file (or inline JSON) whose "
+        "'shards' list assigns each slot to 'local' or a remote "
+        "http(s) endpoint (default: $REPRO_SHARD_MAP; overrides "
+        "--shards; see docs/SERVICE.md \"Cross-host deployment\")",
+    )
+    serve.add_argument(
         "--once", action="store_true",
         help="handle exactly one request then exit (smoke tests)",
     )
@@ -482,6 +489,7 @@ def _cmd_serve(args) -> int:
         store_shards=args.store_shards,
         max_pending=args.max_pending,
         client_quota=args.client_quota,
+        shard_map=args.shard_map,
     )
 
 
@@ -606,6 +614,14 @@ def _cmd_query(args) -> int:
             print(f"error: {body.get('error', body)}", file=sys.stderr)
             return 2 if code == 400 else 1
         rows = body["rows"]
+        if body.get("partial"):
+            unavailable = body.get("unavailable", [])
+            print(
+                f"warning: partial results -- {len(unavailable)} "
+                f"federated shard(s) unavailable "
+                f"({', '.join(row.get('url', '?') for row in unavailable)})",
+                file=sys.stderr,
+            )
     else:
         from repro.service.store import ResultStore
 

@@ -17,13 +17,22 @@ Three cooperating pieces (see ``docs/ROBUSTNESS.md``):
 from repro.runtime.deadline import Deadline, check, resolve_timeout
 from repro.runtime.errors import (
     CacheCorruption,
+    CircuitOpenError,
     DeadlineExceeded,
     EngineFailure,
     FaultConfigError,
+    RemoteShardError,
     ReproError,
     TransientIOError,
 )
-from repro.runtime.faults import KNOWN_SITES, armed, fire, inject, mangle
+from repro.runtime.faults import (
+    KNOWN_SITES,
+    armed,
+    fire,
+    inject,
+    mangle,
+    network_garbage,
+)
 from repro.runtime.io import (
     atomic_write_json,
     quarantine_file,
@@ -40,12 +49,15 @@ __all__ = [
     "CacheCorruption",
     "EngineFailure",
     "TransientIOError",
+    "RemoteShardError",
+    "CircuitOpenError",
     "FaultConfigError",
     "KNOWN_SITES",
     "armed",
     "fire",
     "inject",
     "mangle",
+    "network_garbage",
     "atomic_write_json",
     "read_checked_json",
     "quarantine_file",

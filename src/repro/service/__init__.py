@@ -26,6 +26,12 @@ entrypoint shares (see ``docs/SERVICE.md``):
   the streaming batch API (:meth:`ServiceClient.stream_batch`).
 * :mod:`repro.service.http` -- the stdlib-only HTTP/JSON front behind
   ``repro.cli serve``.
+* :mod:`repro.service.federation` -- cross-host shard federation: the
+  shard-map config (``REPRO_SHARD_MAP`` / ``serve --shard-map``), the
+  hardened :class:`RemoteShardClient` (retry/backoff, idempotent-only
+  resubmission), per-shard :class:`CircuitBreaker`\\ s, the async
+  :class:`HealthChecker`, and the local-failover ladder the scheduler
+  drives (``failover`` events, ``served_by`` attribution).
 """
 
 from repro.service.client import ServiceClient, resolve_store
@@ -39,6 +45,16 @@ from repro.service.events import (
     TeeSink,
 )
 from repro.service.executor import execute_report
+from repro.service.federation import (
+    CircuitBreaker,
+    FederationPolicy,
+    HealthChecker,
+    RemoteShard,
+    RemoteShardClient,
+    ShardMap,
+    ShardSlot,
+    resolve_shard_map,
+)
 from repro.service.http import make_server, request_json, serve
 from repro.service.pool import EXECUTOR_KINDS, resolve_executor
 from repro.service.scheduler import (
@@ -72,6 +88,14 @@ __all__ = [
     "NullSink",
     "TeeSink",
     "execute_report",
+    "CircuitBreaker",
+    "FederationPolicy",
+    "HealthChecker",
+    "RemoteShard",
+    "RemoteShardClient",
+    "ShardMap",
+    "ShardSlot",
+    "resolve_shard_map",
     "make_server",
     "request_json",
     "serve",

@@ -19,6 +19,13 @@ Every job the scheduler touches emits a small, flat event stream:
 ``degraded``
     the computed report contains non-exact units (``detail`` lists
     ``unit=rung`` pairs);
+``failover``
+    the job's remote shard was unreachable (retry budget exhausted,
+    circuit open, or an undecodable response) and the job was re-routed
+    to local recompute on the executor ladder (``detail`` names the
+    shard and the triggering error).  Informational, not terminal: the
+    job still ends in exactly one of completed/failed/shed, attributed
+    ``served_by=local_failover``;
 ``completed`` / ``failed`` / ``shed``
     terminal states, with wall-clock ``duration_ms``.  ``shed`` is the
     terminal of a job the admission controller refused to run at full
@@ -56,6 +63,7 @@ EVENT_KINDS = (
     "cache_hit",
     "started",
     "degraded",
+    "failover",
     "completed",
     "failed",
     "shed",

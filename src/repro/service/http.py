@@ -7,7 +7,10 @@ uses, so batching, dedup and the event stream behave identically.
 
 Routes (all JSON)::
 
-    GET  /v1/healthz                 liveness + store stats
+    GET  /v1/healthz                 liveness + per-shard store stats +
+                                     scheduler queue depths/admission
+                                     bounds + federation breaker state +
+                                     model versions (skew detection)
     POST /v1/jobs                    {"spec": {...}} or {"specs": [...]}
                                      (+ "wait": true, "timeout_s": t)
     POST /v1/jobs/stream             {"specs": [...], "timeout_s": t} ->
@@ -24,7 +27,12 @@ routes get ``404``.  Admission control surfaces as ``429`` (the caller
 is at its per-client quota -- callers are identified by the
 ``X-Repro-Client`` header, falling back to the peer address) and ``503``
 (a scheduler shard is at its hard queue bound); both carry the jobs that
-were admitted before the refusal.  This front is a trusted-network tool
+were admitted before the refusal, plus a ``Retry-After`` header and a
+``retry_after_s`` body field estimating the queue-drain time (the
+federation's :class:`~repro.service.federation.RemoteShardClient`
+honours the hint instead of blind backoff).  A federated front's
+``/v1/query`` fans in across remote shards and reports ``partial: true``
+with an ``unavailable`` list when a shard could not answer.  This front is a trusted-network tool
 (benchmarking, fleet amortization); it binds loopback by default and has
 no auth.
 """
@@ -81,11 +89,15 @@ class _Handler(BaseHTTPRequestHandler):
         log.debug("service.http %s -- %s", self.address_string(),
                   fmt % args)
 
-    def _send(self, code: int, payload: dict) -> None:
+    def _send(
+        self, code: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -114,7 +126,9 @@ class _Handler(BaseHTTPRequestHandler):
         """Submit one by one: admission refusals keep the admitted jobs.
 
         Returns ``(jobs, refusal)`` where ``refusal`` is ``None`` or an
-        ``(http_code, message)`` pair from the admission controller.
+        ``(http_code, message, retry_after_s)`` triple from the
+        admission controller (``retry_after_s`` is ``None`` for plain
+        malformed-spec 400s).
         """
         client_id = self._client_id()
         jobs = []
@@ -124,12 +138,23 @@ class _Handler(BaseHTTPRequestHandler):
                     self.server.client.submit(raw, client_id=client_id)
                 )
             except QuotaExceeded as exc:
-                return jobs, (429, str(exc))
+                return jobs, (
+                    429, str(exc), getattr(exc, "retry_after_s", None)
+                )
             except AdmissionError as exc:
-                return jobs, (503, str(exc))
+                return jobs, (
+                    503, str(exc), getattr(exc, "retry_after_s", None)
+                )
             except (ValueError, TypeError) as exc:  # malformed spec
-                return jobs, (400, str(exc))
+                return jobs, (400, str(exc), None)
         return jobs, None
+
+    @staticmethod
+    def _retry_headers(retry_after_s) -> Optional[dict]:
+        if retry_after_s is None:
+            return None
+        # Retry-After is integer seconds; round up so "0.5" != "now".
+        return {"Retry-After": str(max(1, int(retry_after_s + 0.999)))}
 
     @staticmethod
     def _parse_specs(body: dict):
@@ -174,8 +199,13 @@ class _Handler(BaseHTTPRequestHandler):
                     row["error"] = row.get("error") or str(exc)
             rows.append(row)
         if refusal is not None:
-            code, message = refusal
-            return self._send(code, {"error": message, "jobs": rows})
+            code, message, retry_after_s = refusal
+            payload = {"error": message, "jobs": rows}
+            if retry_after_s is not None:
+                payload["retry_after_s"] = retry_after_s
+            return self._send(
+                code, payload, headers=self._retry_headers(retry_after_s)
+            )
         self._send(200, {"jobs": rows})
 
     def _post_stream(self) -> None:
@@ -193,7 +223,13 @@ class _Handler(BaseHTTPRequestHandler):
             # Refused before any bytes went out: plain status response
             # (already-admitted jobs keep running; the store keeps
             # their results).
-            return self._error(refusal[0], refusal[1])
+            code, message, retry_after_s = refusal
+            payload = {"error": message}
+            if retry_after_s is not None:
+                payload["retry_after_s"] = retry_after_s
+            return self._send(
+                code, payload, headers=self._retry_headers(retry_after_s)
+            )
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
@@ -229,10 +265,7 @@ class _Handler(BaseHTTPRequestHandler):
         }
         try:
             if path == "/v1/healthz":
-                return self._send(200, {
-                    "ok": True,
-                    "store": self.server.client.store_stats(),
-                })
+                return self._send(200, self.server.client.health())
             if path == "/v1/jobs":
                 return self._send(
                     200, {"jobs": self.server.client.scheduler.jobs()}
@@ -276,7 +309,16 @@ class _Handler(BaseHTTPRequestHandler):
         unknown = set(query) - set(filters)
         if unknown:
             raise ValueError(f"unknown query filters: {sorted(unknown)}")
-        self._send(200, {"rows": self.server.client.query(**filters)})
+        if self.server.client.scheduler.remote_shards():
+            # Federated fan-in: a dead shard yields partial=true, not
+            # a failed query.
+            return self._send(
+                200, self.server.client.federated_query(**filters)
+            )
+        self._send(200, {
+            "rows": self.server.client.query(**filters),
+            "partial": False,
+        })
 
     def _get_status(self, job_id: str) -> None:
         status = self.server.client.status(job_id)

@@ -125,6 +125,11 @@ class ThreadBackend:
             spec, store=store, workers=workers, cm_timeout_s=cm_timeout_s
         )
 
+    def describe(self) -> dict:
+        """Healthz row: this backend is also the federation's local
+        failover slot, so remote operators can see its capacity."""
+        return {"kind": self.kind, "width": self.width}
+
     def close(self) -> None:
         pass
 
@@ -205,6 +210,15 @@ class ProcessBackend:
         if not out["ok"]:
             raise WorkerError(out["error_type"], out["error"])
         return KernelReport.from_json(out["report"])
+
+    def describe(self) -> dict:
+        """Healthz row: this backend is also the federation's local
+        failover slot, so remote operators can see its capacity."""
+        return {
+            "kind": self.kind,
+            "width": self.width,
+            "store_shards": self.store_shards,
+        }
 
     def close(self) -> None:
         with self._lock:

@@ -39,6 +39,19 @@ Per-job deadlines ride the existing cooperative machinery: the spec's
 exceeds it walks the exact -> approx -> timeout-cap ladder instead of
 blocking the pool; such reports complete normally but are never
 persisted.
+
+With a **shard map** (``repro.service.federation``), shard slots may be
+remote hosts: jobs routed to a remote slot are forwarded over
+``/v1/jobs`` by a hardened :class:`RemoteShardClient` (per-attempt
+timeouts, jittered backoff, idempotent-only retry, circuit breaker).
+When the remote path fails structurally -- retry budget exhausted,
+breaker open, garbage response -- the job **fails over** to local
+recompute on the existing executor ladder: a ``failover`` event is
+emitted and the result is attributed ``served_by=local_failover``.
+Every completion carries a ``served_by`` attribution
+(``remote | local | local_failover | cache``) and the global invariant
+stays ``submitted == completed + failed + shed`` -- a dead remote shard
+degrades throughput, never correctness.
 """
 
 from __future__ import annotations
@@ -55,8 +68,18 @@ from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.mlpolyufc.characterization import resolve_workers
 from repro.mlpolyufc.reports import KernelReport
-from repro.runtime import resolve_timeout
+from repro.runtime import EngineFailure, resolve_timeout
+from repro.runtime.errors import (
+    CircuitOpenError,
+    RemoteShardError,
+    TransientIOError,
+)
 from repro.service.events import EventSink, ListSink, make_event
+from repro.service.federation import (
+    HealthChecker,
+    RemoteShard,
+    resolve_shard_map,
+)
 from repro.service.pool import make_backend
 from repro.service.spec import JobSpec
 from repro.service.store import ResultStore
@@ -103,12 +126,20 @@ class Job:
     source: Optional[str] = None  # "computed" | "store" | "coalesced"
     shed: bool = False
     client_id: Optional[str] = None
+    #: Completion attribution: "remote" | "local" | "local_failover" |
+    #: "cache" (None until the job reaches its serving path).
+    served_by: Optional[str] = None
     error: Optional[str] = None
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     degraded_units: List[str] = field(default_factory=list)
     primary_id: Optional[str] = None
     future: Optional[Future] = None
+    #: Coalesced jobs riding this primary (empty on followers).  They
+    #: are finished *before* the shared future resolves, so a caller
+    #: woken by ``result()`` never observes a follower without its
+    #: terminal event.
+    followers: List["Job"] = field(default_factory=list)
 
     def result(self, timeout: Optional[float] = None) -> KernelReport:
         """Block until the report is available (raises on failure)."""
@@ -132,12 +163,19 @@ class Scheduler:
         max_pending: Optional[int] = None,
         reject_pending: Optional[int] = None,
         client_quota: Optional[int] = None,
+        shard_map=None,
     ):
         self.store = store
         self.sink = sink if sink is not None else ListSink()
         self.width = resolve_workers(workers)
         self.default_timeout_s = cm_timeout_s
-        self.shards = resolve_shards(shards, self.width)
+        self.shard_map = resolve_shard_map(shard_map)
+        if self.shard_map is not None:
+            # The map *is* the shard identity: slot order decides where
+            # every digest routes, across every front using the map.
+            self.shards = len(self.shard_map)
+        else:
+            self.shards = resolve_shards(shards, self.width)
         self.max_pending = max_pending
         if reject_pending is None and max_pending is not None:
             # The hard bound leaves headroom above the shed threshold
@@ -154,9 +192,31 @@ class Scheduler:
             store_shards=getattr(store, "shard_count", 1),
         )
         self.executor = self._backend.kind
+        self._remotes: Dict[int, RemoteShard] = {}
+        self._health: Optional[HealthChecker] = None
+        if self.shard_map is not None:
+            policy = self.shard_map.policy
+            for slot in self.shard_map.slots:
+                if slot.is_remote:
+                    self._remotes[slot.index] = RemoteShard(
+                        slot.index, slot.url, policy=policy
+                    )
+            if self._remotes and policy.health_interval_s > 0:
+                self._health = HealthChecker(
+                    list(self._remotes.values()),
+                    interval_s=policy.health_interval_s,
+                )
+                self._health.start()
+        # A dispatcher thread blocks for the whole life of its job; a
+        # remote forward is mostly waiting on the wire, so give each
+        # remote slot its own thread on top of the local width -- a slow
+        # remote must not starve local compute.
         self._pool = ThreadPoolExecutor(
-            max_workers=self.width, thread_name_prefix="repro-service"
+            max_workers=self.width + len(self._remotes),
+            thread_name_prefix="repro-service",
         )
+        #: EWMA of completed-job wall time, feeding retry-after hints.
+        self._avg_duration_s = 1.0
         self._lock = threading.Lock()
         self._inflight: List[Dict[str, Job]] = [
             {} for _ in range(self.shards)
@@ -227,6 +287,7 @@ class Scheduler:
                     job.primary_id = primary.job_id
                     job.source = "coalesced"
                     job.future = primary.future
+                    primary.followers.append(job)
                     rejection = None
                 elif (
                     self.reject_pending is not None
@@ -253,18 +314,17 @@ class Scheduler:
                     )
         if rejection == "quota":
             self._emit("quota_exceeded", job, detail=job.error)
-            raise QuotaExceeded(job.error)
+            exc = QuotaExceeded(job.error)
+            exc.retry_after_s = self.retry_after_hint()
+            raise exc
         self._emit("submitted", job, detail=spec.label())
         if rejection == "queue":
             self._emit("shed", job, detail=f"rejected shard={shard}")
-            raise AdmissionError(job.error)
+            exc = AdmissionError(job.error)
+            exc.retry_after_s = self.retry_after_hint(shard)
+            raise exc
         if job.primary_id is not None:
             self._emit("coalesced", job, detail=job.primary_id)
-            # Every job gets a terminal event, coalesced ones included --
-            # event-log consumers see a complete per-job lifecycle.
-            job.future.add_done_callback(
-                lambda fut, job=job: self._finish_coalesced(job, fut)
-            )
         else:
             if not job.shed:
                 self._emit(
@@ -287,23 +347,37 @@ class Scheduler:
                 self._pending[job.shard] -= 1
                 self._inflight[job.shard].pop(job.digest, None)
 
-    def _finish_coalesced(self, job: Job, fut: Future) -> None:
-        exc = fut.exception()
+    def _finish_followers(
+        self, primary: Job, exc: Optional[BaseException]
+    ) -> None:
+        """Give every coalesced follower its terminal event.
+
+        Called from the primary's terminal path *before* the shared
+        future resolves: the primary left the in-flight table when its
+        slot was released, so the follower list is final -- and a
+        waiter woken by ``result()`` observes a fully-balanced event
+        stream (every job has its terminal event), not a transiently
+        missing one.
+        """
         with self._lock:
-            job.finished_at = time.time()
+            followers = list(primary.followers)
+            primary.followers.clear()
+        for job in followers:
+            with self._lock:
+                job.finished_at = time.time()
+                if exc is not None:
+                    job.state = "failed"
+                    job.error = f"{type(exc).__name__}: {exc}"
+                else:
+                    job.state = "completed"
+            self._release(job, primary=False)
+            duration_ms = (job.finished_at - job.submitted_at) * 1e3
             if exc is not None:
-                job.state = "failed"
-                job.error = f"{type(exc).__name__}: {exc}"
+                self._emit("failed", job, detail=job.error,
+                           duration_ms=duration_ms)
             else:
-                job.state = "completed"
-        self._release(job, primary=False)
-        duration_ms = (job.finished_at - job.submitted_at) * 1e3
-        if exc is not None:
-            self._emit("failed", job, detail=job.error,
-                       duration_ms=duration_ms)
-        else:
-            self._emit("completed", job, detail="coalesced",
-                       duration_ms=duration_ms)
+                self._emit("completed", job, detail="coalesced",
+                           duration_ms=duration_ms)
 
     def submit_batch(
         self,
@@ -326,11 +400,11 @@ class Scheduler:
             if report is not None:
                 # A stored exact report beats shedding: serve it.
                 job.source = "store"
+                job.served_by = "cache"
                 job.shed = False
                 self._emit("cache_hit", job)
             else:
                 job.source = "computed"
-                self._emit("started", job, detail=job.spec.label())
                 if job.shed:
                     # Deadline 0: every unit takes the timeout-cap rung
                     # immediately, so the job costs compile time only.
@@ -341,13 +415,19 @@ class Scheduler:
                         if job.spec.cm_timeout_s is not None
                         else resolve_timeout(self.default_timeout_s)
                     )
-                inner_workers = 1 if self.width > 1 else None
-                report = self._backend.run(
-                    job.spec,
-                    self.store,
-                    inner_workers,
-                    timeout,
-                )
+                remote = self._remotes.get(job.shard)
+                if remote is not None and not job.shed:
+                    self._emit(
+                        "started", job,
+                        detail=f"remote shard={job.shard} {remote.url}",
+                    )
+                    report = self._forward_remote(job, remote, timeout)
+                else:
+                    # Shed jobs never cross the wire: the cheap
+                    # timeout-cap rung costs less than a round trip.
+                    job.served_by = "local"
+                    self._emit("started", job, detail=job.spec.label())
+                    report = self._run_local(job.spec, timeout)
                 if not report.fully_exact:
                     job.degraded_units = report.degraded_units
                     self._emit(
@@ -371,6 +451,7 @@ class Scheduler:
                 "failed", job, detail=job.error,
                 duration_ms=(job.finished_at - job.submitted_at) * 1e3,
             )
+            self._finish_followers(job, exc)
             job.future.set_exception(exc)
             return
         with self._lock:
@@ -378,6 +459,7 @@ class Scheduler:
             job.finished_at = time.time()
         self._release(job, primary=True)
         duration_ms = (job.finished_at - job.submitted_at) * 1e3
+        self._note_duration(duration_ms / 1e3)
         if job.shed:
             self._emit(
                 "shed", job,
@@ -385,13 +467,137 @@ class Scheduler:
                 duration_ms=duration_ms,
             )
         else:
+            detail = job.source or ""
+            if job.served_by is not None:
+                detail = f"{detail}:{job.served_by}" if detail else job.served_by
             self._emit(
-                "completed", job, detail=job.source or "",
+                "completed", job, detail=detail,
                 duration_ms=duration_ms,
             )
+        self._finish_followers(job, None)
         job.future.set_result(report)
 
+    def _run_local(self, spec: JobSpec, timeout: float) -> KernelReport:
+        """One pipeline execution on the local backend (also the
+        federation failover slot)."""
+        inner_workers = 1 if self.width > 1 else None
+        return self._backend.run(spec, self.store, inner_workers, timeout)
+
+    def _forward_remote(
+        self, job: Job, remote: RemoteShard, timeout: float
+    ) -> KernelReport:
+        """Serve ``job`` from its remote slot, failing over locally.
+
+        Shard-level trouble (breaker open, retry budget exhausted,
+        undecodable payloads) re-routes to local recompute with a
+        ``failover`` event; a *job*-level error the remote reports
+        (its pipeline genuinely failed) is re-raised structurally --
+        it would fail identically here, so failover would only burn
+        local compute to learn the same thing.
+        """
+        try:
+            if not remote.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for shard {job.shard} ({remote.url})",
+                    url=remote.url,
+                )
+            # The CM deadline rides inside the spec JSON; the wire-level
+            # wait budget is the federation policy's request timeout.
+            row = remote.client.submit_wait(
+                job.spec.to_json(),
+                client_id=f"fed:{os.getpid()}",
+            )
+            error = row.get("error")
+            if error:
+                remote.breaker.record_success()  # the shard answered
+                raise EngineFailure(
+                    f"remote shard {job.shard} ({remote.url}): {error}",
+                    site="service.remote",
+                )
+            report = KernelReport.from_json(row["report"])
+        except (CircuitOpenError, RemoteShardError, TransientIOError,
+                KeyError, ValueError, TypeError) as exc:
+            if not isinstance(exc, CircuitOpenError):
+                # The breaker already knows about an open circuit;
+                # everything else is fresh evidence against the shard.
+                remote.breaker.record_failure()
+            reason = f"{type(exc).__name__}: {exc}"
+            log.warning(
+                "remote shard %d (%s) failed (%s); recomputing locally",
+                job.shard, remote.url, reason,
+            )
+            job.served_by = "local_failover"
+            self._emit(
+                "failover", job,
+                detail=f"shard={job.shard} {reason}",
+            )
+            return self._run_local(job.spec, timeout)
+        remote.breaker.record_success()  # closes a half-open probe
+        job.served_by = "remote"
+        return report
+
+    def _note_duration(self, duration_s: float) -> None:
+        with self._lock:
+            self._avg_duration_s = (
+                0.8 * self._avg_duration_s + 0.2 * duration_s
+            )
+
     # -- introspection -------------------------------------------------
+
+    def remote_shards(self) -> List[RemoteShard]:
+        """The live remote-slot bundles (empty without a shard map)."""
+        return list(self._remotes.values())
+
+    def retry_after_hint(self, shard: Optional[int] = None) -> float:
+        """Seconds a refused client should wait before retrying.
+
+        Estimated queue-drain time: current depth (of ``shard``, or the
+        deepest shard) times the completed-job duration EWMA, divided by
+        the pool width; clamped to [0.5s, 60s].  Attached to
+        :class:`QuotaExceeded`/:class:`AdmissionError` and surfaced by
+        the HTTP front as ``Retry-After`` + ``retry_after_s``.
+        """
+        with self._lock:
+            depth = (
+                self._pending[shard]
+                if shard is not None and 0 <= shard < self.shards
+                else max(self._pending, default=0)
+            )
+            avg = self._avg_duration_s
+        drain = max(1, depth) * avg / max(1, self.width)
+        return round(min(max(drain, 0.5), 60.0), 2)
+
+    def stats(self) -> dict:
+        """A JSON-shaped operational snapshot (the ``/v1/healthz``
+        ``scheduler`` section): queue depths per shard, admission
+        bounds, backend capacity, and -- when federated -- every remote
+        slot's breaker/health state."""
+        with self._lock:
+            depths = list(self._pending)
+            jobs = len(self._jobs)
+            clients = len(self._client_inflight)
+            avg = self._avg_duration_s
+        data = {
+            "executor": self.executor,
+            "backend": self._backend.describe(),
+            "width": self.width,
+            "shards": self.shards,
+            "queue_depths": depths,
+            "max_pending": self.max_pending,
+            "reject_pending": self.reject_pending,
+            "client_quota": self.client_quota,
+            "inflight_clients": clients,
+            "jobs": jobs,
+            "avg_job_s": round(avg, 3),
+        }
+        if self.shard_map is not None:
+            data["federation"] = [
+                self._remotes[index].snapshot()
+                if index in self._remotes
+                else {"slot": index, "kind": "local"}
+                for index in range(self.shards)
+            ]
+        return data
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -410,9 +616,11 @@ class Scheduler:
             )
         state, error = job.state, job.error
         degraded = list(job.degraded_units)
+        served_by = job.served_by
         if primary is not None:
             state, error = primary.state, primary.error
             degraded = list(primary.degraded_units)
+            served_by = primary.served_by
         duration_ms = None
         finished = (primary or job).finished_at
         if finished is not None:
@@ -425,6 +633,7 @@ class Scheduler:
             "platform": job.spec.platform,
             "objective": job.spec.objective,
             "source": job.source,
+            "served_by": served_by,
             "shard": job.shard,
             "shed": (primary or job).shed,
             "error": error,
@@ -500,5 +709,7 @@ class Scheduler:
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
             self._closed = True
+        if self._health is not None:
+            self._health.stop()
         self._pool.shutdown(wait=wait)
         self._backend.close()

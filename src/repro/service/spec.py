@@ -64,6 +64,22 @@ def model_versions() -> dict:
     }
 
 
+def versions_compatible(remote: dict) -> bool:
+    """True iff a remote host's model versions match ours exactly.
+
+    Digests fold the versions in, so two hosts disagreeing on any of
+    them compute *different* digests for the same spec -- forwarding a
+    job across that skew would silently break content addressing.  The
+    federation health checker treats a mismatch as an unhealthy shard
+    (fail over locally) rather than a hard error, so a rolling upgrade
+    degrades instead of corrupting.
+    """
+    if not isinstance(remote, dict):
+        return False
+    local = model_versions()
+    return {key: remote.get(key) for key in local} == local
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One characterization request (see module docstring)."""

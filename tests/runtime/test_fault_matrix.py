@@ -33,10 +33,12 @@ CASES = [
 ]
 
 
-# service.worker fires inside forked pool workers, which kernel_report
-# never spawns; its coverage (worker death, pool rebuild, structured
-# EngineFailure) lives in tests/service/test_pool.py.
-SERVICE_SITES = {"service.worker"}
+# service.worker fires inside forked pool workers and service.remote
+# inside the federation HTTP client, neither of which kernel_report
+# ever reaches; their coverage (worker death, pool rebuild, the remote
+# failure matrix + failover) lives in tests/service/test_pool.py and
+# tests/service/test_federation.py.
+SERVICE_SITES = {"service.worker", "service.remote"}
 
 
 def test_every_site_is_covered():
