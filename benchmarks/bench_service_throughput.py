@@ -42,6 +42,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.cache.memo import clear_memo
+from repro.mlpolyufc.characterization import FAMILY_SERVED_NOTE
 from repro.service import JobSpec, ServiceClient
 from repro.service.events import ListSink
 from repro.service.executor import execute_report
@@ -58,6 +59,23 @@ SMOKE_KERNELS = ["atax", "trisolv", "sdpa_gemma2"]
 
 OBJECTIVES = ["edp", "energy", "performance"]
 EPSILONS = [1e-4, 1e-3, 1e-2]
+
+#: The size-sweep family (docs/PERFORMANCE.md "Parametric families"):
+#: one gemm structure swept over ``ni`` with nj/nk fixed.  The cold
+#: sizes are submitted first and include the largest point, so the fit
+#: hull covers the warm sizes (the artifact never extrapolates); the
+#: warm sizes are interior lattice points the chart must then serve
+#: with O(1) CM work.
+FAMILY_FULL = {
+    "fixed": {"nj": 32, "nk": 32},
+    "cold_ni": [64 + 32 * k for k in (0, 1, 2, 3, 7)],
+    "warm_ni": [64 + 32 * k for k in (4, 5, 6)],
+}
+FAMILY_SMOKE = {
+    "fixed": {"nj": 16, "nk": 16},
+    "cold_ni": [16, 24, 32, 56],
+    "warm_ni": [40, 48],
+}
 
 
 def build_requests(kernels, total, repeat_fraction, seed):
@@ -135,6 +153,83 @@ def run_service(requests, store_dir, **client_kwargs):
     counts = dict(sink.counts())
     check_event_invariants(counts)
     return elapsed, counts, dict(served_by)
+
+
+def run_family_sweep(smoke):
+    """The parametric size-sweep row: one artifact serves every size.
+
+    Submits the family's cold sizes with ``engine="parametric"`` (each
+    computes concretely and folds into the family artifact), then the
+    warm sizes (served from the fitted chart, O(1) CM work).  Every
+    warm report is cross-checked against a fresh ``engine="symbolic"``
+    run of the same size -- the served counters must match bit-for-bit
+    -- and the recorded ``cm_speedup`` compares the CM wall clock the
+    chart *replaced* (the concrete runs) with what serving cost.
+    """
+    family = FAMILY_SMOKE if smoke else FAMILY_FULL
+    fixed = family["fixed"]
+    spec_for = lambda ni: JobSpec(
+        benchmark="gemm", engine="parametric", sizes={"ni": ni, **fixed}
+    )
+    sink = ListSink(maxlen=10_000)
+    with tempfile.TemporaryDirectory(prefix="polyufc-bench-family-") as tmp:
+        clear_memo()
+        with ServiceClient(store=Path(tmp) / "store", sink=sink) as client:
+            started = time.perf_counter()
+            cold = client.wait_all(client.submit_batch(
+                [spec_for(ni) for ni in family["cold_ni"]]
+            ))
+            cold_s = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = client.wait_all(client.submit_batch(
+                [spec_for(ni) for ni in family["warm_ni"]]
+            ))
+            warm_s = time.perf_counter() - started
+    counts = dict(sink.counts())
+    assert counts.get("family_sample", 0) == len(family["cold_ni"]), counts
+    assert counts.get("family_fit", 0) >= 1, counts
+    assert counts.get("family_served", 0) == len(family["warm_ni"]), counts
+
+    # bit-for-bit cross-check + the CM wall clock the chart replaced
+    concrete_cm_ms = 0.0
+    for ni, report in zip(family["warm_ni"], warm):
+        clear_memo()
+        control = execute_report(
+            JobSpec(benchmark="gemm", engine="symbolic",
+                    sizes={"ni": ni, **fixed}),
+            store=None,
+        )
+        concrete_cm_ms += control.timings_ms["polyufc_cm"]
+        for mine, theirs in zip(report.units, control.units):
+            assert mine.cm_note == FAMILY_SERVED_NOTE
+            assert mine.omega == theirs.omega
+            assert mine.q_dram_model == theirs.q_dram_model
+            assert mine.model_level_bytes == theirs.model_level_bytes
+            assert mine.model_dram_lines == theirs.model_dram_lines
+            assert mine.oi_fpb == theirs.oi_fpb
+            assert mine.cap_ghz == theirs.cap_ghz
+    served_cm_ms = sum(r.timings_ms["polyufc_cm"] for r in warm)
+    cm_speedup = concrete_cm_ms / max(served_cm_ms, 1e-3)
+    row = {
+        "sizes": len(family["cold_ni"]) + len(family["warm_ni"]),
+        "fixed": fixed,
+        "cold_ni": family["cold_ni"],
+        "warm_ni": family["warm_ni"],
+        "cold_s": round(cold_s, 2),
+        "warm_s": round(warm_s, 2),
+        "concrete_cm_ms": round(concrete_cm_ms, 1),
+        "served_cm_ms": round(served_cm_ms, 1),
+        "cm_speedup": round(cm_speedup, 1),
+        "events": counts,
+    }
+    print(
+        f"  {row['sizes']}-size gemm family: cold {cold_s:.1f}s, "
+        f"warm {warm_s:.1f}s; CM {concrete_cm_ms:.0f}ms -> "
+        f"{served_cm_ms:.0f}ms ({cm_speedup:.0f}x), "
+        f"served counters bit-for-bit",
+        flush=True,
+    )
+    return row
 
 
 def sweep_workers(cpus, smoke):
@@ -238,6 +333,9 @@ def main(argv=None):
     speedup = baseline_s / service_s
     print(f"speedup: {speedup:.1f}x (target >= 5x)")
 
+    print("parametric size-sweep (one family artifact, every size):")
+    family_sweep = run_family_sweep(args.smoke)
+
     scaling = None
     if args.full:
         points = sweep_workers(cpus, args.smoke)
@@ -265,6 +363,7 @@ def main(argv=None):
         "speedup": round(speedup, 2),
         "events": events,
         "served_by": served_by,
+        "family_sweep": family_sweep,
         "scaling": scaling,
     }
     if args.output or not args.smoke:
@@ -278,6 +377,13 @@ def main(argv=None):
     if args.smoke:
         return 0
     if speedup < 5.0:
+        return 1
+    if family_sweep["cm_speedup"] < 5.0:
+        print(
+            f"family CM speedup below target: "
+            f"{family_sweep['cm_speedup']:.1f}x (>= 5x expected)",
+            file=sys.stderr,
+        )
         return 1
     if scaling is not None:
         at4 = next(

@@ -38,12 +38,34 @@ class BenchmarkSpec:
     name: str
     category: str  # "polybench" | "ml"
     source: str
-    build: Callable[[], Module]
+    build: Callable[..., Module]
     paper_sizes: str
     sim_sizes: str
+    #: Named problem-size parameters the builder accepts as keyword
+    #: overrides (empty for fixed-shape kernels).  These are the
+    #: parameter names of the kernel *family* used by the parametric
+    #: characterization cache.
+    size_names: tuple = ()
+    #: Default ``(name, value)`` pairs for those parameters -- the sizes
+    #: the builder uses when no override is given.
+    default_sizes: tuple = ()
 
-    def module(self) -> Module:
-        return self.build()
+    def module(self, sizes=None) -> Module:
+        """Build the kernel, optionally at overridden problem sizes.
+
+        ``sizes`` maps a subset of :attr:`size_names` to positive ints;
+        unknown names raise ``ValueError`` so a job spec cannot silently
+        request a family the builder does not parameterize.
+        """
+        if not sizes:
+            return self.build()
+        unknown = sorted(set(sizes) - set(self.size_names))
+        if unknown:
+            raise ValueError(
+                f"benchmark {self.name!r} has no size parameters "
+                f"{unknown}; accepted: {sorted(self.size_names)}"
+            )
+        return self.build(**{name: int(sizes[name]) for name in sizes})
 
 
 def _polybench_specs() -> Dict[str, BenchmarkSpec]:
@@ -57,6 +79,8 @@ def _polybench_specs() -> Dict[str, BenchmarkSpec]:
             build=builder,
             paper_sizes="LARGE dataset",
             sim_sizes=sim,
+            size_names=tuple(SIZES[name]),
+            default_sizes=tuple(SIZES[name].items()),
         )
     return specs
 

@@ -56,7 +56,10 @@ log = logging.getLogger("repro.runtime")
 #: v2: disk entries moved to the checksummed ``repro-envelope`` format.
 #: v3: the ``symbolic`` engine joined the dispatch and entries may carry
 #: a structured fallback note.
-MEMO_VERSION = 3
+#: v4: the symbolic extractor unrolls triangular/trapezoidal nests
+#: (different counters for units that previously fell back to ``fast``)
+#: and the ``parametric`` engine joined the dispatch.
+MEMO_VERSION = 4
 
 _MEMO_ENV = "REPRO_CM_MEMO"
 _MEMO_DIR_ENV = "REPRO_CM_MEMO_DIR"
@@ -163,6 +166,10 @@ def unit_fingerprint(
 ) -> str:
     """Content digest of a full (ops, params, hierarchy, threads, parallel)
     characterization request."""
+    engine_name = resolve_engine(engine)
+    if engine_name == "parametric":
+        # Same evaluation, same numbers: share the symbolic memo slot.
+        engine_name = "symbolic"
     blob = json.dumps(
         [
             MEMO_VERSION,
@@ -170,7 +177,7 @@ def unit_fingerprint(
             _hierarchy_key(hierarchy),
             threads,
             parallel,
-            resolve_engine(engine),
+            engine_name,
             max_accesses,
         ],
         sort_keys=True,
@@ -294,6 +301,11 @@ def _compute_cm(
     evaluation fell back to the trace-based ``fast`` engine.
     """
     note: Optional[str] = None
+    if engine_name == "parametric":
+        # At the cache layer ``parametric`` is the symbolic evaluation
+        # (identical numbers by construction); the family-artifact reuse
+        # it enables lives in the service layer.
+        engine_name = "symbolic"
     if engine_name == "symbolic":
         # Imported lazily: symbolic_model depends on this module's
         # siblings and the isllite counting stack.

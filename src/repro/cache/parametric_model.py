@@ -1,0 +1,894 @@
+"""Parametric kernel-family characterization: one artifact, every size.
+
+A :class:`ParametricCharacterization` packages the characterization of a
+*kernel family* -- the same access geometry at any problem size -- as
+per-unit counter polynomials in the problem-size parameters, built on the
+Ehrhart-lite polynomial algebra of :mod:`repro.isllite.parametric`.  The
+service keeps one artifact per ``family_digest`` and answers any size in
+the artifact's validity domain by evaluating the polynomials: bit-for-bit
+the counters the concrete engines would have produced, at O(microseconds)
+instead of a full characterization.
+
+Two counter sources back the artifact:
+
+* **Sampled + interpolated** (the serving path): every exact per-size
+  characterization contributes one :class:`FamilySample` (the full
+  integer counter vector per unit).  Once the samples line up on a 1-D
+  lattice ray through size space, each counter is interpolated with
+  exact ``Fraction`` arithmetic into a polynomial and validated
+  **bit-for-bit on held-out samples** before the chart is trusted.
+  Quasi-polynomial counters (capacity cliffs, footprint ``ceil``\\ s off
+  the lattice) fail the holdout and the family honestly stays on the
+  per-size path -- or on a shorter validated sub-segment, since the
+  :class:`RayChart` is piecewise.
+* **Structural** (the cross-check): :func:`structural_polynomials` lifts
+  a kernel builder's loop bounds to affine functions of the size names
+  by finite differencing and counts each statement domain symbolically
+  (:func:`repro.isllite.parametric.parametric_count`), yielding closed
+  forms for ``omega`` and ``total_accesses``.  :meth:`try_fit` can
+  require the fitted polynomials for those counters to match the
+  symbolic counts term-for-term, so an interpolation artifact can never
+  contradict the polyhedral ground truth.
+
+The artifact covers the *model* side only: ``omega``, the trace length,
+the OpenMP thread count and the three engine-comparable
+:class:`~repro.cache.static_model.LevelCounters` fields per level.  The
+hardware-side counters (the exact set-associative simulator) are
+deliberately excluded -- their eviction-order and aliasing effects are
+quasi-polynomial at best (measured: gemm L2 traffic jumps at the L1
+capacity cliff), and the service already content-addresses them per size
+in the workload store.  Everything downstream (CM result, roofline
+summary, cap search) reconstructs from this vector plus the per-family
+invariants via :meth:`ParametricCharacterization.cm_result`.
+
+**Never an extrapolated guess**: :meth:`evaluate` serves a stored sample
+directly, or evaluates the chart polynomials when the query lies on a
+validated lattice segment, and returns ``None`` for everything else
+(off-ray, off-lattice, outside every segment, non-integral evaluation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cache.static_model import CacheModelResult, LevelModelStats
+from repro.isllite import BasicSet, Constraint, LinExpr, Space
+from repro.isllite.parametric import (
+    ParametricCount,
+    UnsupportedParametricSet,
+    parametric_count,
+)
+
+
+class FamilyFitError(Exception):
+    """A sample contradicts the family, or the artifact is poisoned."""
+
+
+#: Highest polynomial degree the interpolation fit will attempt.  The
+#: countable model polynomials are at most cubic in one size (gemm's
+#: ``2*ni*nj*nk``); one spare degree absorbs mixed terms on skew rays.
+MAX_FIT_DEGREE = 4
+
+#: Fields whose fitted polynomials :meth:`try_fit` cross-checks against
+#: :func:`structural_polynomials` when a structural table is supplied.
+STRUCTURAL_FIELDS = ("omega", "total_accesses")
+
+
+def counter_fields(level_count: int) -> Tuple[str, ...]:
+    """The fixed per-unit counter layout for ``level_count`` cache levels.
+
+    See the module docstring: model side only -- ``omega``, the trace
+    length, the thread count and the three engine-comparable
+    ``LevelCounters`` fields per level.
+    """
+    fields: List[str] = ["omega", "total_accesses", "threads"]
+    for index in range(level_count):
+        fields.append(f"level{index}_accesses")
+        fields.append(f"level{index}_cold_misses")
+        fields.append(f"level{index}_capacity_conflict_misses")
+    return tuple(fields)
+
+
+def _check_invariants(invariants: Mapping) -> dict:
+    """Validate + normalize the per-family invariant block."""
+    if not isinstance(invariants, Mapping):
+        raise FamilyFitError(
+            f"invariants must be a mapping, got {type(invariants).__name__}"
+        )
+    required = {"param_names", "unit_names", "level_names", "line_bytes"}
+    missing = sorted(required - set(invariants))
+    if missing:
+        raise FamilyFitError(f"invariants missing {missing}")
+    for key in ("param_names", "unit_names", "level_names"):
+        values = tuple(invariants[key])
+        if not values or not all(
+            isinstance(v, str) and v for v in values
+        ):
+            raise FamilyFitError(f"invariants[{key!r}] must name at least "
+                                 f"one non-empty string, got {values!r}")
+    line_bytes = invariants["line_bytes"]
+    if not isinstance(line_bytes, int) or line_bytes <= 0:
+        raise FamilyFitError(
+            f"invariants['line_bytes'] must be a positive int, "
+            f"got {line_bytes!r}"
+        )
+    return {
+        "param_names": tuple(invariants["param_names"]),
+        "unit_names": tuple(invariants["unit_names"]),
+        "level_names": tuple(invariants["level_names"]),
+        "line_bytes": line_bytes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Exact 1-D polynomial helpers (coefficients low-to-high over the ray
+# coordinate ``t``)
+# ---------------------------------------------------------------------------
+
+
+def poly_to_json(poly: Sequence[Fraction]) -> list:
+    return [[coeff.numerator, coeff.denominator] for coeff in poly]
+
+
+def poly_from_json(data) -> Tuple[Fraction, ...]:
+    return tuple(Fraction(int(num), int(den)) for num, den in data)
+
+
+def _interpolate(points: Sequence[Tuple[int, int]]) -> Tuple[Fraction, ...]:
+    """Exact Lagrange interpolation through ``(t, value)`` points."""
+    coeffs = [Fraction(0)] * len(points)
+    for i, (ti, yi) in enumerate(points):
+        # Expand yi * prod_{j != i} (t - tj) / (ti - tj) into monomials.
+        basis = [Fraction(1)]
+        denom = Fraction(1)
+        for j, (tj, _yj) in enumerate(points):
+            if j == i:
+                continue
+            denom *= ti - tj
+            shifted = [Fraction(0)] + basis
+            for k in range(len(basis)):
+                shifted[k] -= tj * basis[k]
+            basis = shifted
+        scale = Fraction(yi) / denom
+        for k in range(len(basis)):
+            coeffs[k] += scale * basis[k]
+    while len(coeffs) > 1 and coeffs[-1] == 0:
+        coeffs.pop()
+    return tuple(coeffs)
+
+
+def _eval_poly(poly: Sequence[Fraction], t: int) -> Fraction:
+    total = Fraction(0)
+    for coeff in reversed(poly):
+        total = total * t + coeff
+    return total
+
+
+def _evaluate_polys(
+    polys: Sequence[Sequence[Fraction]], t: int
+) -> Optional[Tuple[int, ...]]:
+    """Evaluate one unit's field polynomials; None unless all are
+    non-negative integers (a non-integral value means the query is off
+    the validated lattice and must fall back)."""
+    values: List[int] = []
+    for poly in polys:
+        value = _eval_poly(poly, t)
+        if value.denominator != 1 or value < 0:
+            return None
+        values.append(int(value))
+    return tuple(values)
+
+
+def _primitive(vector: Sequence[int]) -> Tuple[int, ...]:
+    """The primitive (gcd-reduced, sign-normalized) lattice direction."""
+    g = 0
+    for value in vector:
+        g = math.gcd(g, abs(value))
+    if g == 0:
+        return tuple(vector)
+    reduced = [value // g for value in vector]
+    for value in reduced:
+        if value:
+            if value < 0:
+                reduced = [-v for v in reduced]
+            break
+    return tuple(reduced)
+
+
+# ---------------------------------------------------------------------------
+# The artifact
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FamilySample:
+    """One exact per-size characterization: sizes + per-unit vectors."""
+
+    sizes: Tuple[Tuple[str, int], ...]
+    units: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def sizes_dict(self) -> Dict[str, int]:
+        return dict(self.sizes)
+
+
+@dataclass(frozen=True)
+class RaySegment:
+    """One validated contiguous window of the ray: ``t_lo <= t <= t_hi``
+    with per-unit per-field polynomial coefficients."""
+
+    t_lo: int
+    t_hi: int
+    polys: Tuple[Tuple[Tuple[Fraction, ...], ...], ...]
+
+    def covers(self, t: int) -> bool:
+        return self.t_lo <= t <= self.t_hi
+
+
+@dataclass(frozen=True)
+class RayChart:
+    """The validity domain: a lattice ray plus validated segments.
+
+    A query is servable iff ``sizes = offset + t * direction`` for an
+    integer ``t`` inside some segment.
+    """
+
+    param_names: Tuple[str, ...]
+    offset: Tuple[int, ...]
+    direction: Tuple[int, ...]
+    segments: Tuple[RaySegment, ...]
+
+    def locate(self, size_values: Sequence[int]) -> Optional[int]:
+        """The ray coordinate of ``size_values``, or None when off-ray."""
+        t: Optional[int] = None
+        for value, base, step in zip(size_values, self.offset, self.direction):
+            if step == 0:
+                if value != base:
+                    return None
+                continue
+            delta = value - base
+            if delta % step:
+                return None
+            here = delta // step
+            if t is None:
+                t = here
+            elif t != here:
+                return None
+        return t
+
+    def segment_for(self, t: int) -> Optional[RaySegment]:
+        for segment in self.segments:
+            if segment.covers(t):
+                return segment
+        return None
+
+
+@dataclass(frozen=True)
+class FamilyAnswer:
+    """One served query: per-unit counter vectors plus provenance."""
+
+    units: Tuple[Tuple[int, ...], ...]
+    source: str  # "sample" | "chart"
+    t: Optional[int] = None
+
+
+@dataclass
+class ParametricCharacterization:
+    """The cached family artifact (see module docstring)."""
+
+    param_names: Tuple[str, ...]
+    unit_names: Tuple[str, ...]
+    level_names: Tuple[str, ...]
+    line_bytes: int
+    samples: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], ...]] = field(
+        default_factory=dict
+    )
+    chart: Optional[RayChart] = None
+    note: Optional[str] = None
+
+    def __post_init__(self):
+        normalized = _check_invariants(self.invariants())
+        self.param_names = normalized["param_names"]
+        self.unit_names = normalized["unit_names"]
+        self.level_names = normalized["level_names"]
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        return counter_fields(len(self.level_names))
+
+    def invariants(self) -> dict:
+        return {
+            "param_names": tuple(self.param_names),
+            "unit_names": tuple(self.unit_names),
+            "level_names": tuple(self.level_names),
+            "line_bytes": self.line_bytes,
+        }
+
+    def _key(self, sizes: Mapping[str, int]) -> Tuple[int, ...]:
+        if set(sizes) != set(self.param_names):
+            raise ValueError(
+                f"sizes must bind exactly {self.param_names}, "
+                f"got {sorted(sizes)}"
+            )
+        values = tuple(int(sizes[name]) for name in self.param_names)
+        if any(v < 0 for v in values):
+            raise ValueError(f"sizes must be non-negative, got {dict(sizes)}")
+        return values
+
+    def _poison(self, reason: str) -> None:
+        self.note = reason
+        self.chart = None
+
+    # -- accumulation ------------------------------------------------------
+
+    def add_sample(self, sizes, unit_counters, invariants) -> bool:
+        """Record one exact per-size result; returns True when new.
+
+        Raises :class:`FamilyFitError` when the sample contradicts the
+        family -- invariant drift, a counter vector that differs from an
+        earlier sample at the same sizes, or disagreement with an
+        already-validated chart.  The artifact marks itself poisoned
+        (``note``) before raising, so callers can persist the verdict.
+        """
+        if self.note:
+            raise FamilyFitError(f"family poisoned: {self.note}")
+        given = _check_invariants(invariants)
+        if given != self.invariants():
+            self._poison(
+                f"invariant drift: {given!r} vs {self.invariants()!r}"
+            )
+            raise FamilyFitError(self.note)
+        width = len(self.fields)
+        vectors = tuple(
+            tuple(int(value) for value in unit) for unit in unit_counters
+        )
+        if len(vectors) != len(self.unit_names) or any(
+            len(vec) != width or any(v < 0 for v in vec) for vec in vectors
+        ):
+            raise FamilyFitError(
+                f"expected {len(self.unit_names)} units x {width} "
+                f"non-negative counters"
+            )
+        key = self._key(sizes)
+        stored = self.samples.get(key)
+        if stored is not None:
+            if stored != vectors:
+                self._poison(
+                    f"sample contradiction at sizes {dict(sizes)}: "
+                    f"{stored} vs {vectors}"
+                )
+                raise FamilyFitError(self.note)
+            return False
+        if self.chart is not None:
+            t = self.chart.locate(key)
+            segment = (
+                self.chart.segment_for(t) if t is not None else None
+            )
+            if segment is not None:
+                predicted = tuple(
+                    _evaluate_polys(unit_polys, t)
+                    for unit_polys in segment.polys
+                )
+                if predicted != vectors:
+                    self._poison(
+                        f"chart contradiction at sizes {dict(sizes)} "
+                        f"(t={t}): predicted {predicted}, got {vectors}"
+                    )
+                    raise FamilyFitError(self.note)
+        self.samples[key] = vectors
+        return True
+
+    def sample_list(self) -> List[FamilySample]:
+        return [
+            FamilySample(
+                sizes=tuple(zip(self.param_names, key)), units=vectors
+            )
+            for key, vectors in sorted(self.samples.items())
+        ]
+
+    # -- fitting -----------------------------------------------------------
+
+    def _ray(self):
+        """(offset, lattice direction, sorted (t, key) list) or None.
+
+        The direction is the *sampled* lattice stride -- the primitive
+        direction scaled by the gcd of the sample coordinates -- so the
+        chart never claims validity at intermediate lattice points no
+        holdout ever checked (counters can differ between sub-lattices:
+        gemm's L2 capacity misses alternate between two affine lines on
+        the 32- vs 64-stride ni lattice).
+        """
+        if len(self.samples) < 2:
+            return None
+        keys = sorted(self.samples)
+        offset = keys[0]
+        direction = None
+        for key in keys[1:]:
+            delta = tuple(k - o for k, o in zip(key, offset))
+            if any(delta):
+                direction = _primitive(delta)
+                break
+        if direction is None:
+            return None
+        axis = next(i for i, d in enumerate(direction) if d)
+        raw: List[Tuple[int, Tuple[int, ...]]] = []
+        for key in keys:
+            delta = tuple(k - o for k, o in zip(key, offset))
+            if delta[axis] % direction[axis]:
+                return None
+            t = delta[axis] // direction[axis]
+            if delta != tuple(t * d for d in direction):
+                return None  # off-ray: no 1-D chart for this family
+            raw.append((t, key))
+        stride = 0
+        for t, _key in raw:
+            stride = math.gcd(stride, t)
+        if stride > 1:
+            direction = tuple(d * stride for d in direction)
+            raw = [(t // stride, key) for t, key in raw]
+        raw.sort()
+        return offset, direction, raw
+
+    def _fit_window(self, window):
+        """Fit + holdout-validate one contiguous sample window, or None.
+
+        Interpolation uses up to ``MAX_FIT_DEGREE + 1`` points spread
+        evenly across the window; every remaining sample is a bit-for-bit
+        holdout (always >= 1).  A holdout miss means the counters are not
+        polynomial on this window's lattice -- the window is rejected,
+        never served.
+        """
+        count = len(window)
+        if count < 3:
+            return None
+        n_fit = min(count - 1, MAX_FIT_DEGREE + 1)
+        picked = sorted(
+            {round(i * (count - 1) / (n_fit - 1)) for i in range(n_fit)}
+        )
+        holdout = [i for i in range(count) if i not in set(picked)]
+        if not holdout:
+            return None
+        unit_polys: List[Tuple[Tuple[Fraction, ...], ...]] = []
+        for u in range(len(self.unit_names)):
+            polys: List[Tuple[Fraction, ...]] = []
+            for f in range(len(self.fields)):
+                points = [(window[i][0], window[i][1][u][f]) for i in picked]
+                poly = _interpolate(points)
+                for i in holdout:
+                    if _eval_poly(poly, window[i][0]) != window[i][1][u][f]:
+                        return None
+                polys.append(poly)
+            unit_polys.append(tuple(polys))
+        return RaySegment(
+            t_lo=window[0][0], t_hi=window[-1][0], polys=tuple(unit_polys)
+        )
+
+    def try_fit(self, structural=None) -> bool:
+        """Fit + holdout-validate a chart from the accumulated samples.
+
+        Returns True when a trusted chart is available afterwards.  With
+        ``structural`` (unit name -> {"omega"/"total_accesses":
+        :class:`~repro.isllite.parametric.ParametricCount`}, see
+        :func:`structural_polynomials`) the fitted polynomials for those
+        counters must match the symbolic counts term-for-term or the fit
+        is rejected.
+        """
+        if self.note:
+            return False
+        ray = self._ray()
+        if ray is None:
+            self.chart = None
+            return False
+        offset, direction, located = ray
+        rows = [(t, self.samples[key]) for t, key in located]
+        segments: List[RaySegment] = []
+        start = 0
+        while start < len(rows):
+            fitted = None
+            for end in range(len(rows), start + 2, -1):
+                fitted = self._fit_window(rows[start:end])
+                if fitted is not None:
+                    segments.append(fitted)
+                    start = end
+                    break
+            if fitted is None:
+                start += 1
+        if not segments:
+            self.chart = None
+            return False
+        chart = RayChart(
+            param_names=tuple(self.param_names),
+            offset=offset,
+            direction=direction,
+            segments=tuple(segments),
+        )
+        if structural is not None and not self._structural_ok(
+            chart, structural
+        ):
+            self.chart = None
+            return False
+        self.chart = chart
+        return True
+
+    def _structural_ok(self, chart: RayChart, structural) -> bool:
+        """Fitted omega / access polynomials must equal the symbolic
+        counts composed onto the ray (sizes = offset + direction * t)."""
+        indices = {
+            name: index
+            for index, name in enumerate(self.fields)
+            if name in STRUCTURAL_FIELDS
+        }
+        for u, unit_name in enumerate(self.unit_names):
+            counts = structural.get(unit_name)
+            if counts is None:
+                return False
+            for field_name, count in counts.items():
+                if field_name not in indices:
+                    continue
+                composed = _compose_on_ray(
+                    count, chart.param_names, chart.offset, chart.direction
+                )
+                for segment in chart.segments:
+                    if not _poly_equal(
+                        segment.polys[u][indices[field_name]], composed
+                    ):
+                        return False
+        return True
+
+    # -- serving -----------------------------------------------------------
+
+    def evaluate(self, sizes: Mapping[str, int]) -> Optional[FamilyAnswer]:
+        """Answer ``sizes`` from the artifact, or None (fall back).
+
+        An exact stored sample is served directly; otherwise the chart
+        polynomials are evaluated when ``sizes`` lies on a validated
+        lattice segment.  Off-lattice, off-segment and unfitted queries
+        return None -- never an extrapolated guess.
+        """
+        if self.note:
+            return None
+        key = self._key(sizes)
+        stored = self.samples.get(key)
+        if stored is not None:
+            return FamilyAnswer(units=stored, source="sample")
+        if self.chart is None:
+            return None
+        t = self.chart.locate(key)
+        if t is None:
+            return None
+        segment = self.chart.segment_for(t)
+        if segment is None:
+            return None
+        vectors: List[Tuple[int, ...]] = []
+        for unit_polys in segment.polys:
+            values = _evaluate_polys(unit_polys, t)
+            if values is None:
+                return None
+            vectors.append(values)
+        return FamilyAnswer(units=tuple(vectors), source="chart", t=t)
+
+    def counters_dict(self, vector: Sequence[int]) -> Dict[str, int]:
+        return dict(zip(self.fields, vector))
+
+    def cm_result(self, vector: Sequence[int]) -> CacheModelResult:
+        """Reconstruct the per-unit CM result a concrete engine would
+        have produced (``q_dram_bytes`` etc. are derived properties)."""
+        values = self.counters_dict(vector)
+        levels = tuple(
+            LevelModelStats(
+                name=name,
+                accesses=values[f"level{index}_accesses"],
+                cold_misses=values[f"level{index}_cold_misses"],
+                capacity_conflict_misses=values[
+                    f"level{index}_capacity_conflict_misses"
+                ],
+            )
+            for index, name in enumerate(self.level_names)
+        )
+        return CacheModelResult(
+            levels=levels,
+            line_bytes=self.line_bytes,
+            total_accesses=values["total_accesses"],
+            threads=values["threads"],
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self) -> dict:
+        chart = None
+        if self.chart is not None:
+            chart = {
+                "offset": list(self.chart.offset),
+                "direction": list(self.chart.direction),
+                "segments": [
+                    {
+                        "t_lo": segment.t_lo,
+                        "t_hi": segment.t_hi,
+                        "polys": [
+                            [poly_to_json(poly) for poly in unit_polys]
+                            for unit_polys in segment.polys
+                        ],
+                    }
+                    for segment in self.chart.segments
+                ],
+            }
+        return {
+            "param_names": list(self.param_names),
+            "unit_names": list(self.unit_names),
+            "level_names": list(self.level_names),
+            "line_bytes": self.line_bytes,
+            "samples": [
+                {"sizes": list(key), "units": [list(vec) for vec in vectors]}
+                for key, vectors in sorted(self.samples.items())
+            ],
+            "chart": chart,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json(cls, payload) -> "ParametricCharacterization":
+        if not isinstance(payload, dict):
+            raise FamilyFitError(
+                f"family payload must be an object, "
+                f"got {type(payload).__name__}"
+            )
+        try:
+            artifact = cls(
+                param_names=tuple(payload["param_names"]),
+                unit_names=tuple(payload["unit_names"]),
+                level_names=tuple(payload["level_names"]),
+                line_bytes=payload["line_bytes"],
+                note=payload.get("note"),
+            )
+            for row in payload.get("samples", ()):
+                key = tuple(int(v) for v in row["sizes"])
+                artifact.samples[key] = tuple(
+                    tuple(int(v) for v in vec) for vec in row["units"]
+                )
+            chart = payload.get("chart")
+            if chart is not None:
+                artifact.chart = RayChart(
+                    param_names=artifact.param_names,
+                    offset=tuple(int(v) for v in chart["offset"]),
+                    direction=tuple(int(v) for v in chart["direction"]),
+                    segments=tuple(
+                        RaySegment(
+                            t_lo=int(segment["t_lo"]),
+                            t_hi=int(segment["t_hi"]),
+                            polys=tuple(
+                                tuple(
+                                    poly_from_json(poly)
+                                    for poly in unit_polys
+                                )
+                                for unit_polys in segment["polys"]
+                            ),
+                        )
+                        for segment in chart["segments"]
+                    ),
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FamilyFitError(f"malformed family payload: {exc}") from exc
+        return artifact
+
+
+def _poly_equal(
+    poly: Sequence[Fraction], other: Sequence[Fraction]
+) -> bool:
+    width = max(len(poly), len(other))
+    pad = lambda p: tuple(p) + (Fraction(0),) * (width - len(p))  # noqa: E731
+    return pad(poly) == pad(other)
+
+
+def _compose_on_ray(
+    count: ParametricCount,
+    param_names: Sequence[str],
+    offset: Sequence[int],
+    direction: Sequence[int],
+) -> Tuple[Fraction, ...]:
+    """Substitute ``size_p = offset_p + direction_p * t`` into a
+    :class:`ParametricCount`, returning coefficients over ``t``."""
+    base = {
+        name: (Fraction(o), Fraction(d))
+        for name, o, d in zip(param_names, offset, direction)
+    }
+    total: List[Fraction] = [Fraction(0)]
+
+    def add(poly: List[Fraction]) -> None:
+        while len(total) < len(poly):
+            total.append(Fraction(0))
+        for k, coeff in enumerate(poly):
+            total[k] += coeff
+
+    for monomial, coeff in count.terms:
+        term = [Fraction(coeff)]
+        for name, power in monomial:
+            if name not in base:
+                raise UnsupportedParametricSet(
+                    f"count references {name!r}, not a family parameter"
+                )
+            o, d = base[name]
+            for _ in range(power):
+                shifted = [Fraction(0)] + [c * d for c in term]
+                for k in range(len(term)):
+                    shifted[k] += o * term[k]
+                term = shifted
+        add(term)
+    while len(total) > 1 and total[-1] == 0:
+        total.pop()
+    return tuple(total)
+
+
+# ---------------------------------------------------------------------------
+# Structural lifting: concrete builder -> parametric statement domains
+# ---------------------------------------------------------------------------
+
+
+def lift_statement_domains(build, base_sizes: Mapping[str, int]):
+    """Each statement's domain as a *parametric* BasicSet in the size names.
+
+    The builder is invoked at the base sizes and with each size bumped by
+    +1 and +3; constraint constants that move are lifted to affine
+    functions of the sizes (the +3 build proves linearity).  Any
+    structural drift between builds -- statement count, loop names,
+    constraint coefficients, flop counts -- or a nonlinear constant
+    raises :class:`UnsupportedParametricSet`.
+
+    Returns ``(affine_module, [(statement, parametric_domain), ...])``
+    where both the module and the statements come from the base-size
+    build, so callers can group statements into units on that module.
+    """
+    from repro.pipeline import _lower_to_affine
+    from repro.poly.scop import extract_scop
+
+    base_sizes = {name: int(value) for name, value in base_sizes.items()}
+    names = sorted(base_sizes)
+    if not names:
+        raise UnsupportedParametricSet("a family needs at least one size")
+
+    def scop_at(sizes):
+        module = _lower_to_affine(build(dict(sizes)))
+        return module, extract_scop(module)
+
+    module, base_scop = scop_at(base_sizes)
+    probes: Dict[Tuple[str, int], list] = {}
+    for name in names:
+        for bump in (1, 3):
+            sizes = dict(base_sizes)
+            sizes[name] += bump
+            probes[(name, bump)] = scop_at(sizes)[1].statements
+
+    def bound_rows(statements):
+        """Flattened (loop, which, index) bound expressions per statement."""
+        rows = []
+        for statement in statements:
+            exprs = []
+            for loop in statement.loops:
+                exprs.append(tuple(loop.lowers))
+                exprs.append(tuple(loop.uppers))
+            rows.append(
+                (
+                    statement.name,
+                    statement.loop_names,
+                    statement.flops_per_point,
+                    len(statement.accesses),
+                    tuple(exprs),
+                )
+            )
+        return rows
+
+    base_rows = bound_rows(base_scop.statements)
+    probe_rows = {key: bound_rows(stmts) for key, stmts in probes.items()}
+    for key, rows in probe_rows.items():
+        if len(rows) != len(base_rows):
+            raise UnsupportedParametricSet(
+                f"statement count drifts with size {key[0]!r}: "
+                f"{len(base_rows)} vs {len(rows)}"
+            )
+        for base_row, row in zip(base_rows, rows):
+            if base_row[:4] != row[:4] or any(
+                len(b) != len(p) for b, p in zip(base_row[4], row[4])
+            ):
+                raise UnsupportedParametricSet(
+                    f"structural drift with size {key[0]!r} at statement "
+                    f"{base_row[0]}: {base_row[:4]} vs {row[:4]}"
+                )
+
+    def lift_expr(stmt_index, group_index, expr_index, expr) -> LinExpr:
+        lifted = expr
+        for name in names:
+            def probe_expr(bump):
+                return probe_rows[(name, bump)][stmt_index][4][group_index][
+                    expr_index
+                ]
+            one, three = probe_expr(1), probe_expr(3)
+            if one.coeffs != expr.coeffs or three.coeffs != expr.coeffs:
+                raise UnsupportedParametricSet(
+                    f"bound coefficients drift with size {name!r} "
+                    f"in {expr!r}"
+                )
+            delta = one.const - expr.const
+            if three.const - expr.const != 3 * delta:
+                raise UnsupportedParametricSet(
+                    f"bound constant of {expr!r} is not affine in {name!r}"
+                )
+            if delta:
+                lifted = (
+                    lifted
+                    + LinExpr.var(name) * delta
+                    - delta * base_sizes[name]
+                )
+        return lifted
+
+    lifted_pairs = []
+    for stmt_index, statement in enumerate(base_scop.statements):
+        constraints: List[Constraint] = []
+        used_params = set()
+        loop_names = statement.loop_names
+        for loop_index, loop in enumerate(statement.loops):
+            iv = LinExpr.var(loop.iv_name)
+            for which, exprs in ((0, loop.lowers), (1, loop.uppers)):
+                group_index = 2 * loop_index + which
+                for expr_index, expr in enumerate(exprs):
+                    lifted = lift_expr(
+                        stmt_index, group_index, expr_index, expr
+                    )
+                    used_params |= lifted.names() - set(loop_names)
+                    if which == 0:
+                        constraints.append(Constraint(iv - lifted))
+                    else:
+                        constraints.append(Constraint(lifted - iv - 1))
+        unknown = used_params - set(names)
+        if unknown:
+            raise UnsupportedParametricSet(
+                f"lifted bounds use unknown symbols {sorted(unknown)}"
+            )
+        space = Space(loop_names, params=tuple(sorted(used_params)))
+        domain = BasicSet(space, constraints)
+        lifted_pairs.append((statement, domain))
+    return module, lifted_pairs
+
+
+def structural_polynomials(
+    build, base_sizes: Mapping[str, int], granularity: str = "linalg"
+) -> Dict[str, Dict[str, ParametricCount]]:
+    """Per-unit ``omega`` and ``total_accesses`` polynomials in the sizes.
+
+    The lifted statement domains are counted symbolically
+    (:func:`repro.isllite.parametric.parametric_count`: rectangle or
+    ordered simplex) and aggregated per capping unit using the same
+    grouping as the characterization pipeline, so the keys line up
+    with unit names in reports.  Raises
+    :class:`UnsupportedParametricSet` outside the countable class.
+    """
+    from repro.mlpolyufc.characterization import group_affine_units
+
+    module, lifted_pairs = lift_statement_domains(build, base_sizes)
+    units = group_affine_units(module, granularity)
+    owner: Dict[int, str] = {}
+    result: Dict[str, Dict[str, ParametricCount]] = {}
+    for unit_name, ops in units:
+        result[unit_name] = {
+            "omega": ParametricCount.constant(0),
+            "total_accesses": ParametricCount.constant(0),
+        }
+        for op in ops:
+            owner[id(op)] = unit_name
+    for statement, domain in lifted_pairs:
+        unit_name = owner.get(id(statement.loops[0]))
+        if unit_name is None:
+            raise UnsupportedParametricSet(
+                f"statement {statement.name} is outside every unit"
+            )
+        count = parametric_count(domain).polynomial()
+        result[unit_name]["omega"] = result[unit_name]["omega"] + count.scale(
+            statement.flops_per_point
+        )
+        result[unit_name]["total_accesses"] = result[unit_name][
+            "total_accesses"
+        ] + count.scale(len(statement.accesses))
+    return result

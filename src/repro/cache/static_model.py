@@ -46,8 +46,12 @@ from repro.runtime import Deadline, check as _check_deadline, faults
 #: oracle; ``symbolic`` (:mod:`repro.cache.symbolic_model`) computes the
 #: same :class:`LevelModelStats` without materializing the access trace
 #: and falls back to ``fast`` outside its supported quasi-affine class.
+#: ``parametric`` evaluates like ``symbolic`` at the cache layer (same
+#: numbers by construction) and additionally marks the job eligible for
+#: kernel-family artifact reuse in the service layer
+#: (:mod:`repro.cache.parametric_model`).
 #: All engines produce identical :class:`LevelModelStats` where exact.
-CM_ENGINES = ("fast", "reference", "symbolic")
+CM_ENGINES = ("fast", "reference", "symbolic", "parametric")
 
 _ENGINE_ENV = "REPRO_CM_ENGINE"
 

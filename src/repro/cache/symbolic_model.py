@@ -14,8 +14,13 @@ Pipeline, per unit:
    *statements* (maximal load/store runs) with mixed-radix flattened
    timestamps ``t(u) = base + sum_d w_d u_d + pos``, and one *access
    geometry* per textual access: an affine map from the iteration box to
-   cache-line ids.  Non-rectangular bounds, non-affine subscripts or
-   non-injective line maps raise :class:`SymbolicUnsupported`.
+   cache-line ids.  Triangular / trapezoidal nests -- loop bounds
+   affine in outer iterators, the trisolv / lu walks -- are handled by
+   *outer-iterator unrolling*: the dependent iterator is bound as a
+   constant parameter per iteration, which folds every inner bound and
+   subscript rectangular again (budgeted by :data:`_MAX_BOXES`).
+   Non-affine subscripts or non-injective line maps raise
+   :class:`SymbolicUnsupported`.
 2. **Classification** -- an access misses iff its backward per-set reuse
    distance reaches the associativity.  The predecessor (previous access
    to the same line) is found in closed form; the distinct same-set lines
@@ -188,7 +193,8 @@ class _Extractor:
         partial = expr.partial(self.params)
         if partial.names():
             raise SymbolicUnsupported(
-                f"non-rectangular bound {expr!r} (depends on outer ivs)"
+                f"non-affine-foldable bound {expr!r} "
+                f"(depends on unbound names {sorted(partial.names())})"
             )
         value = partial.const
         if not float(value).is_integer():
@@ -205,6 +211,54 @@ class _Extractor:
         extent = max(0, -(-(upper - lower) // step))
         return lower, step, extent
 
+    def _bounds_depend(self, op: Op, name: str) -> bool:
+        """True iff any loop bound in ``op``'s subtree references ``name``."""
+        if isinstance(op, AffineForOp):
+            for expr in list(op.lowers) + list(op.uppers):
+                if name in expr.names():
+                    return True
+            return any(
+                self._bounds_depend(child, name) for child in op.body.ops
+            )
+        return False
+
+    def _unrolls(self, op: AffineForOp) -> bool:
+        """True iff the loop must be unrolled (triangular/trapezoidal).
+
+        A loop whose *descendant bounds* depend on its own iterator does
+        not sweep a rectangle; binding the iterator as a constant
+        parameter per iteration folds every inner bound (and subscript)
+        back into the rectangular class.
+        """
+        return any(
+            self._bounds_depend(child, op.iv_name) for child in op.body.ops
+        )
+
+    def _bind(self, name: str, value: int):
+        """Set ``params[name] = value``; returns the restore thunk."""
+        missing = object()
+        previous = self.params.get(name, missing)
+        self.params[name] = value
+
+        def restore() -> None:
+            if previous is missing:
+                del self.params[name]
+            else:
+                self.params[name] = previous
+
+        return restore
+
+    def _unrolled_span(self, op: AffineForOp) -> int:
+        lower, step, extent = self._loop_range(op)
+        total = 0
+        for k in range(extent):
+            restore = self._bind(op.iv_name, lower + step * k)
+            try:
+                total += sum(self._span(child) for child in op.body.ops)
+            finally:
+                restore()
+        return total
+
     def _buffer_id(self, buffer: Buffer) -> int:
         index = self.buffer_index.get(buffer.name)
         if index is None:
@@ -220,6 +274,8 @@ class _Extractor:
         if isinstance(op, (AffineLoadOp, AffineStoreOp)):
             return 1
         if isinstance(op, AffineForOp):
+            if self._unrolls(op):
+                return self._unrolled_span(op)
             _, _, extent = self._loop_range(op)
             body = sum(self._span(child) for child in op.body.ops)
             return extent * body
@@ -237,9 +293,12 @@ class _Extractor:
         cursor = 0
         for op in ops:
             self._nest_base = cursor
+            # Unrolled (triangular) nests have a different body span per
+            # outer iteration, so slab translation does not apply: 0
+            # disables the class compressor for their boxes.
             self._outer_w = (
                 sum(self._span(child) for child in op.body.ops)
-                if isinstance(op, AffineForOp)
+                if isinstance(op, AffineForOp) and not self._unrolls(op)
                 else 0
             )
             cursor += self._emit(op, cursor, [])
@@ -256,6 +315,21 @@ class _Extractor:
             return 1
         if isinstance(op, AffineForOp):
             lower, step, extent = self._loop_range(op)
+            if self._unrolls(op):
+                cursor = base
+                for k in range(extent):
+                    restore = self._bind(op.iv_name, lower + step * k)
+                    try:
+                        for child in op.body.ops:
+                            cursor += self._emit(child, cursor, nest)
+                    finally:
+                        restore()
+                    if len(self.boxes) > _MAX_BOXES:
+                        raise SymbolicUnsupported(
+                            f"unrolling {op.iv_name} exceeds the "
+                            f"{_MAX_BOXES}-box budget"
+                        )
+                return cursor - base
             body_span = sum(self._span(child) for child in op.body.ops)
             if extent == 0 or body_span == 0:
                 return extent * body_span

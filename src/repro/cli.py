@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="where shrunk JSON + pytest repros of failures land "
         "(default: ./fuzz-artifacts)",
     )
+    fuzz.add_argument(
+        "--parametric", action="store_true",
+        help="fuzz kernel *families*: build a parametric artifact from "
+        "sampled sizes and diff what it serves against the engines "
+        "(--corpus replays both concrete and parametric specs)",
+    )
 
     serve = commands.add_parser(
         "serve", help="run the characterization service over HTTP"
@@ -219,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--store", default=None, metavar="DIR",
         help="(local mode) result-store root override",
+    )
+    submit.add_argument(
+        "--sizes", action="append", default=None, metavar="N=V[,N=V...]",
+        help="problem sizes, e.g. --sizes ni=64,nj=96; repeatable -- "
+        "each occurrence submits every kernel/objective at those sizes "
+        "(unnamed dimensions keep the benchmark defaults; parametric-"
+        "engine jobs at swept sizes share one family artifact)",
     )
     submit.add_argument(
         "--no-wait", action="store_true",
@@ -432,17 +445,29 @@ def _cmd_fuzz(
     corpus: Optional[str],
     replay_only: bool,
     artifacts: str,
+    parametric: bool = False,
 ) -> int:
     from pathlib import Path
 
-    from repro.verify import fuzz, replay_corpus
+    from repro.verify import (
+        fuzz,
+        fuzz_parametric,
+        replay_corpus,
+        replay_parametric_corpus,
+    )
 
     exit_code = 0
     if corpus is not None:
         replayed = replay_corpus(Path(corpus))
-        bad = [(path, r) for path, r in replayed if not r.ok]
+        preplayed = replay_parametric_corpus(Path(corpus))
+        bad = [
+            (path, r)
+            for path, r in list(replayed) + list(preplayed)
+            if not r.ok
+        ]
         print(
-            f"corpus replay: {len(replayed)} spec(s), "
+            f"corpus replay: {len(replayed)} concrete + "
+            f"{len(preplayed)} parametric spec(s), "
             f"{len(bad)} disagreement(s)"
         )
         for path, result in bad:
@@ -453,6 +478,30 @@ def _cmd_fuzz(
             exit_code = 1
         if replay_only:
             return exit_code
+
+    if parametric:
+        pstats = fuzz_parametric(
+            seed=seed,
+            time_budget_s=time_budget,
+            max_cases=max_cases,
+            artifacts_dir=Path(artifacts),
+            log=print,
+        )
+        print(
+            f"parametric fuzz seed={seed}: {pstats.cases_run} "
+            f"family(ies) in {pstats.elapsed_s:.1f}s, "
+            f"{pstats.charts_fitted} chart(s) fitted, "
+            f"{pstats.probes_served} probe(s) served, "
+            f"{len(pstats.failures)} failure(s)"
+        )
+        for pfailure in pstats.failures:
+            print(f"  family {pfailure.index}: {pfailure.reason()}")
+            if pfailure.json_path is not None:
+                print(
+                    f"    repro: {pfailure.json_path} / "
+                    f"{pfailure.pytest_path}"
+                )
+        return 1 if pstats.failures else exit_code
 
     stats = fuzz(
         seed=seed,
@@ -493,7 +542,35 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _parse_sizes(text: str) -> dict:
+    """``"ni=64,nj=96"`` -> ``{"ni": 64, "nj": 96}``."""
+    sizes = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ValueError(
+                f"bad --sizes entry {part!r}; expected name=integer"
+            )
+        try:
+            sizes[name] = int(value.strip())
+        except ValueError:
+            raise ValueError(
+                f"bad --sizes value for {name!r}: {value.strip()!r} "
+                f"is not an integer"
+            ) from None
+    return sizes
+
+
 def _cmd_submit(args) -> int:
+    try:
+        size_sets = [_parse_sizes(text) for text in (args.sizes or [])]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     specs = [
         {
             "benchmark": kernel,
@@ -502,9 +579,11 @@ def _cmd_submit(args) -> int:
             "objective": objective,
             "engine": args.cm_engine,
             "cm_timeout_s": args.cm_timeout,
+            **({"sizes": sizes} if sizes else {}),
         }
         for kernel in args.kernels
         for objective in (args.objective or ["edp"])
+        for sizes in (size_sets or [{}])
     ]
 
     if args.url is not None:
@@ -678,6 +757,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(
             args.seed, args.time_budget, args.max_cases,
             args.corpus, args.replay_only, args.artifacts,
+            args.parametric,
         )
     if args.command == "serve":
         return _cmd_serve(args)

@@ -50,6 +50,10 @@ GRANULARITIES = ("affine", "linalg", "torch")
 #: estimate, and the paper's Sec. VII-F safety fallback (cap at f_max).
 DEGRADATION_RUNGS = ("exact", "approx", "timeout-cap")
 
+#: ``cm_note`` marking a unit whose CM counters were instantiated from a
+#: cached parametric family artifact instead of evaluated by an engine.
+FAMILY_SERVED_NOTE = "served by parametric family artifact"
+
 #: Trace-prefix budget of the approximate rung.
 APPROX_TRACE_ACCESSES = 100_000
 
@@ -280,6 +284,7 @@ def characterize_units(
     workers: Optional[int] = None,
     engine: Optional[str] = None,
     deadline: Optional[Deadline] = None,
+    cm_lookup=None,
 ) -> List[UnitCharacterization]:
     """Characterize every capping unit of an affine module.
 
@@ -287,6 +292,13 @@ def characterize_units(
     (the heavy NumPy kernels release the GIL); results keep the module's
     unit order regardless of completion order.  ``engine`` selects the CM
     evaluator (see :data:`repro.cache.static_model.CM_ENGINES`).
+
+    ``cm_lookup`` (unit name -> :class:`CacheModelResult` or ``None``)
+    short-circuits the per-unit CM evaluation -- the service's
+    kernel-family fast path injects artifact-served counters here, so a
+    warm size sweep skips the expensive engine work entirely.  A served
+    unit is ``exact`` with ``cm_note="served by parametric family
+    artifact"``; a ``None`` lookup falls through to the normal ladder.
 
     Faults are isolated **per unit** through the degradation ladder
     (:data:`DEGRADATION_RUNGS`): an expired ``deadline`` or a failing
@@ -323,6 +335,10 @@ def characterize_units(
 
     def cm_with_ladder(name, ops, parallel):
         """(cm, rung, warning, note) for one unit, walking the ladder down."""
+        if cm_lookup is not None:
+            served = cm_lookup(name)
+            if served is not None:
+                return served, "exact", None, FAMILY_SERVED_NOTE
         try:
             if deadline is not None:
                 deadline.check(f"unit:{name}")

@@ -137,8 +137,14 @@ def polyufc_compile(
     verify: bool = True,
     workers: Optional[int] = None,
     cm_engine: Optional[str] = None,
+    cm_lookup=None,
 ) -> PolyUFCResult:
     """Run the full PolyUFC flow on one module.
+
+    ``cm_lookup`` (unit name -> ``CacheModelResult`` or ``None``) lets a
+    caller serve per-unit CM counters from a cached kernel-family
+    artifact instead of evaluating an engine (see
+    :func:`repro.mlpolyufc.characterization.characterize_units`).
 
     ``workers`` fans per-unit cache analysis across a thread pool and
     ``cm_engine`` selects the PolyUFC-CM evaluator (``fast`` or
@@ -178,6 +184,7 @@ def polyufc_compile(
             workers=workers,
             engine=cm_engine,
             deadline=deadline,
+            cm_lookup=cm_lookup,
         )
     finally:
         timings.polyufc_cm_ms = (time.perf_counter() - started) * 1e3

@@ -40,7 +40,23 @@ Every job the scheduler touches emits a small, flat event stream:
 ``quota_exceeded``
     a per-client quota rejected the submission before it entered the
     system (no ``submitted`` is emitted; the submitter got
-    :class:`~repro.service.scheduler.QuotaExceeded`).
+    :class:`~repro.service.scheduler.QuotaExceeded`);
+``family_served``
+    a parametric job's CM counters were instantiated from a cached
+    kernel-family artifact instead of computed (``detail`` records
+    ``source=sample|chart units=<n>``); the job still emits its normal
+    ``started``/``completed`` pair -- this event marks the O(1) CM fast
+    path inside the execution;
+``family_sample``
+    a fully-exact parametric result was folded into its family artifact
+    as a new per-size sample (``detail`` records the sizes);
+``family_fit``
+    after a new sample, the family's piecewise ray-chart fit succeeded
+    with every holdout sample reproduced bit-for-bit -- subsequent
+    lattice sizes can be served without any engine work;
+``family_poisoned``
+    a sample contradicted the family (nondeterminism or corruption);
+    the artifact dropped its chart and stops serving.
 
 Sinks are pluggable and must be thread-safe; the scheduler never lets a
 sink error take a job down.
@@ -68,6 +84,10 @@ EVENT_KINDS = (
     "failed",
     "shed",
     "quota_exceeded",
+    "family_served",
+    "family_sample",
+    "family_fit",
+    "family_poisoned",
 )
 
 

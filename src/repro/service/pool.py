@@ -83,11 +83,13 @@ def _worker_main(payload: dict) -> dict:
             store = resolve_store(
                 payload["store_root"], shards=payload["store_shards"]
             )
+        family_info: dict = {}
         report = execute_report(
             spec,
             store=store,
             workers=payload["workers"],
             cm_timeout_s=payload["cm_timeout_s"],
+            family_info=family_info,
         )
     except BaseException as exc:  # classified in-band, see docstring
         return {
@@ -95,7 +97,7 @@ def _worker_main(payload: dict) -> dict:
             "error_type": type(exc).__name__,
             "error": str(exc),
         }
-    return {"ok": True, "report": report.to_json()}
+    return {"ok": True, "report": report.to_json(), "family": family_info}
 
 
 class WorkerError(EngineFailure):
@@ -118,11 +120,13 @@ class ThreadBackend:
     def __init__(self, width: int):
         self.width = width
 
-    def run(self, spec: JobSpec, store, workers, cm_timeout_s):
+    def run(self, spec: JobSpec, store, workers, cm_timeout_s,
+            family_info: Optional[dict] = None):
         from repro.service.executor import execute_report
 
         return execute_report(
-            spec, store=store, workers=workers, cm_timeout_s=cm_timeout_s
+            spec, store=store, workers=workers, cm_timeout_s=cm_timeout_s,
+            family_info=family_info,
         )
 
     def describe(self) -> dict:
@@ -170,7 +174,8 @@ class ProcessBackend:
                 broken.shutdown(wait=False)
                 self._pool = self._make_pool()
 
-    def run(self, spec: JobSpec, store, workers, cm_timeout_s):
+    def run(self, spec: JobSpec, store, workers, cm_timeout_s,
+            family_info: Optional[dict] = None):
         # ``store`` is ignored: workers open their own handle from
         # (store_root, store_shards) -- a live store object does not
         # cross the process boundary.  Atomic object writes make the
@@ -209,6 +214,9 @@ class ProcessBackend:
                 ) from None
         if not out["ok"]:
             raise WorkerError(out["error_type"], out["error"])
+        if family_info is not None:
+            family_info.clear()
+            family_info.update(out.get("family") or {})
         return KernelReport.from_json(out["report"])
 
     def describe(self) -> dict:

@@ -427,7 +427,11 @@ class Scheduler:
                     # timeout-cap rung costs less than a round trip.
                     job.served_by = "local"
                     self._emit("started", job, detail=job.spec.label())
-                    report = self._run_local(job.spec, timeout)
+                    family_info: dict = {}
+                    report = self._run_local(
+                        job.spec, timeout, family_info
+                    )
+                    self._emit_family(job, family_info)
                 if not report.fully_exact:
                     job.degraded_units = report.degraded_units
                     self._emit(
@@ -477,11 +481,48 @@ class Scheduler:
         self._finish_followers(job, None)
         job.future.set_result(report)
 
-    def _run_local(self, spec: JobSpec, timeout: float) -> KernelReport:
+    def _run_local(
+        self,
+        spec: JobSpec,
+        timeout: float,
+        family_info: Optional[dict] = None,
+    ) -> KernelReport:
         """One pipeline execution on the local backend (also the
         federation failover slot)."""
         inner_workers = 1 if self.width > 1 else None
-        return self._backend.run(spec, self.store, inner_workers, timeout)
+        return self._backend.run(
+            spec, self.store, inner_workers, timeout, family_info
+        )
+
+    def _emit_family(self, job: Job, info: dict) -> None:
+        """Emit parametric-family lifecycle events from executor info.
+
+        ``family_served`` marks the O(1)-CM fast path (the job's counters
+        were instantiated from the cached artifact); ``family_sample`` /
+        ``family_fit`` track the artifact growing toward a chart;
+        ``family_poisoned`` records a contradicting sample.
+        """
+        if not info.get("eligible"):
+            return
+        sizes = " ".join(
+            f"{name}={value}"
+            for name, value in sorted((info.get("sizes") or {}).items())
+        )
+        if info.get("served_units"):
+            job.served_by = "family"
+            self._emit(
+                "family_served", job,
+                detail=(
+                    f"source={info.get('source')} "
+                    f"units={info['served_units']} {sizes}"
+                ),
+            )
+        if info.get("sampled"):
+            self._emit("family_sample", job, detail=sizes)
+        if info.get("fitted"):
+            self._emit("family_fit", job, detail=sizes)
+        if info.get("poisoned"):
+            self._emit("family_poisoned", job, detail=info["poisoned"])
 
     def _forward_remote(
         self, job: Job, remote: RemoteShard, timeout: float

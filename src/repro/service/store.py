@@ -8,6 +8,10 @@ Layout (under :func:`store_root`, relocatable via ``REPRO_STORE_DIR`` or
       workloads/<workload-digest>.json  hardware-side counters, shared by
                                         jobs differing only in objective /
                                         epsilon / overhead / engine
+      families/<family-digest>.json   one parametric characterization
+                                      artifact per kernel family, shared
+                                      by every problem size (size-erased
+                                      digest; see ``JobSpec.family_digest``)
       index.json                      digest -> queryable summary row
 
 :class:`ShardedResultStore` splits that layout into N digest-routed
@@ -49,6 +53,10 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.cache.parametric_model import (
+    FamilyFitError,
+    ParametricCharacterization,
+)
 from repro.mlpolyufc.reports import KernelReport, ReportSchemaError
 from repro.runtime import (
     CacheCorruption,
@@ -128,6 +136,10 @@ class ResultStore:
         return self.root / "workloads"
 
     @property
+    def families_dir(self) -> Path:
+        return self.root / "families"
+
+    @property
     def index_path(self) -> Path:
         return self.root / "index.json"
 
@@ -136,6 +148,9 @@ class ResultStore:
 
     def workload_path(self, digest: str) -> Path:
         return self.workloads_dir / f"{digest}.json"
+
+    def family_path(self, digest: str) -> Path:
+        return self.families_dir / f"{digest}.json"
 
     # -- reports -------------------------------------------------------
 
@@ -243,6 +258,59 @@ class ResultStore:
             quarantine_file(path)
             return None
         return units
+
+    # -- parametric kernel families ------------------------------------
+
+    def put_family(
+        self, digest: str, artifact: ParametricCharacterization
+    ) -> Optional[Path]:
+        """Persist one kernel family's parametric characterization.
+
+        Keyed by :meth:`repro.service.spec.JobSpec.family_digest`.  The
+        exact-samples-only policy is enforced by the producer
+        (``execute_report`` samples only fully-exact reports), so every
+        persisted vector is engine-agreed ground truth; this method just
+        writes the artifact under the usual hardened envelope.
+        """
+        path = self.family_path(digest)
+        try:
+            atomic_write_json(
+                path, {"family": artifact.to_json()},
+                fault_site="report.write",
+            )
+        except (TransientIOError, EngineFailure) as exc:
+            log.warning(
+                "family write of %s failed (%s); continuing",
+                path.name, exc,
+            )
+            return None
+        return path
+
+    def get_family(
+        self, digest: str
+    ) -> Optional[ParametricCharacterization]:
+        """Fetch a family artifact, or ``None`` (missing / quarantined)."""
+        path = self.family_path(digest)
+        try:
+            payload = read_checked_json(
+                path, fault_site="report.read", required_keys=("family",)
+            )
+        except FileNotFoundError:
+            return None
+        except CacheCorruption:
+            return None  # quarantined + logged by the envelope reader
+        except (TransientIOError, EngineFailure) as exc:
+            log.warning(
+                "family read of %s kept failing (%s); recomputing",
+                path.name, exc,
+            )
+            return None
+        try:
+            return ParametricCharacterization.from_json(payload["family"])
+        except FamilyFitError as exc:
+            log.warning("family entry %s has drifted schema (%s)", path, exc)
+            quarantine_file(path)
+            return None
 
     # -- index + queries ----------------------------------------------
 
@@ -364,10 +432,15 @@ class ResultStore:
             len(list(self.workloads_dir.glob("*.json")))
             if self.workloads_dir.is_dir() else 0
         )
+        families = (
+            len(list(self.families_dir.glob("*.json")))
+            if self.families_dir.is_dir() else 0
+        )
         return {
             "root": str(self.root),
             "reports": reports,
             "workloads": workloads,
+            "families": families,
             "indexed": len(self._load_index()),
         }
 
@@ -424,6 +497,21 @@ class ShardedResultStore:
     def workload_path(self, digest: str) -> Path:
         return self.shard_of(digest).workload_path(digest)
 
+    # -- parametric kernel families ------------------------------------
+
+    def put_family(
+        self, digest: str, artifact: ParametricCharacterization
+    ) -> Optional[Path]:
+        return self.shard_of(digest).put_family(digest, artifact)
+
+    def get_family(
+        self, digest: str
+    ) -> Optional[ParametricCharacterization]:
+        return self.shard_of(digest).get_family(digest)
+
+    def family_path(self, digest: str) -> Path:
+        return self.shard_of(digest).family_path(digest)
+
     # -- fan-in --------------------------------------------------------
 
     def rebuild_index(self) -> Dict[str, dict]:
@@ -461,6 +549,7 @@ class ShardedResultStore:
             "shards": self.shard_count,
             "reports": sum(row["reports"] for row in per_shard),
             "workloads": sum(row["workloads"] for row in per_shard),
+            "families": sum(row["families"] for row in per_shard),
             "indexed": sum(row["indexed"] for row in per_shard),
             "per_shard": per_shard,
         }

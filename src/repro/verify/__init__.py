@@ -37,6 +37,23 @@ from repro.verify.harness import (
     replay_corpus,
     write_failure_artifacts,
 )
+from repro.verify.parametric import (
+    ParametricCaseResult,
+    ParametricFailure,
+    ParametricFuzzStats,
+    ParametricSpec,
+    fuzz_parametric,
+    generate_parametric_spec,
+    instantiate,
+    is_parametric_json,
+    pspec_from_json,
+    pspec_to_json,
+    pspec_to_pytest,
+    replay_parametric_corpus,
+    run_parametric_case,
+    shrink_parametric,
+    write_parametric_failure,
+)
 
 __all__ = [
     "AccessSpec",
@@ -63,4 +80,19 @@ __all__ = [
     "fuzz",
     "replay_corpus",
     "write_failure_artifacts",
+    "ParametricCaseResult",
+    "ParametricFailure",
+    "ParametricFuzzStats",
+    "ParametricSpec",
+    "fuzz_parametric",
+    "generate_parametric_spec",
+    "instantiate",
+    "is_parametric_json",
+    "pspec_from_json",
+    "pspec_to_json",
+    "pspec_to_pytest",
+    "replay_parametric_corpus",
+    "run_parametric_case",
+    "shrink_parametric",
+    "write_parametric_failure",
 ]

@@ -526,17 +526,24 @@ def generate_spec(seed: int, index: int = 0) -> KernelSpec:
             lower: ExprData = _expr(rng.choice((0, 0, 0, 1)))
             extent = rng.randint(1, _MAX_EXTENT)
             upper: ExprData = _expr(lower[0] + extent)
-            if outer and rng.random() < 0.25:
-                # Triangular: one bound rides an outer iv.  Lower-triangular
-                # (lower = outer iv) can yield empty domains when the outer
-                # value passes the constant upper bound -- kept on purpose.
+            if outer and rng.random() < 0.3:
+                # Triangular / trapezoidal: a bound (or both) is affine
+                # in one outer iv.  Lower-triangular (lower = outer iv)
+                # can yield empty domains when the outer value passes the
+                # constant upper bound -- kept on purpose; the banded
+                # form (both bounds riding the same anchor) walks a
+                # constant-width trapezoidal wavefront.
                 anchor = rng.choice(outer)
-                if rng.random() < 0.5:
-                    lower = _expr(0, **{anchor: 1})
+                roll = rng.random()
+                if roll < 0.35:
+                    lower = _expr(rng.choice((0, 0, 1)), **{anchor: 1})
                     upper = _expr(rng.randint(1, _MAX_EXTENT))
+                elif roll < 0.7:
+                    lower = _expr(rng.choice((0, 1)))
+                    upper = _expr(rng.choice((0, 1, 2, 3)), **{anchor: 1})
                 else:
-                    lower = _expr(0)
-                    upper = _expr(rng.choice((0, 1)), **{anchor: 1})
+                    lower = _expr(0, **{anchor: 1})
+                    upper = _expr(rng.randint(1, 4), **{anchor: 1})
             step = rng.choice((1, 1, 1, 2))
             loops.append(LoopSpec(iv, lower, upper, step))
             outer.append(iv)

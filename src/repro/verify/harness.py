@@ -139,9 +139,15 @@ def replay_corpus(
 
     Returns ``(path, result)`` pairs sorted by file name so the replay
     order -- and therefore any failure output -- is deterministic.
+    Parametric family specs sharing the directory are skipped here and
+    replayed by :func:`repro.verify.parametric.replay_parametric_corpus`.
     """
+    from repro.verify.parametric import is_parametric_json
+
     results: List[Tuple[Path, CaseResult]] = []
     for path in sorted(corpus_dir.glob("*.json")):
-        spec = spec_from_json(path.read_text())
-        results.append((path, oracle(spec)))
+        text = path.read_text()
+        if is_parametric_json(text):
+            continue
+        results.append((path, oracle(spec_from_json(text))))
     return results

@@ -75,6 +75,45 @@ def test_tiny_ml_variants_cover_the_ml_registry():
     assert set(ML_TINY_BUILDERS) == set(ML_BUILDERS)
 
 
+#: Triangular-domain kernels the widened symbolic engine (per-iteration
+#: unroll of iv-anchored bounds) must now handle without fallback.  A
+#: regression to ``SymbolicUnsupported`` would silently pass the generic
+#: agreement test above via its early return, so support is asserted
+#: explicitly.
+TRIANGULAR_SUPPORTED = ("trisolv", "cholesky", "syrk", "syr2k")
+
+#: Triangular kernels that still fall back -- for reasons orthogonal to
+#: their triangular bounds (column-wise traversals, backward walks).
+#: The test pins the reason so a fallback caused by the *bounds* class
+#: reappearing is caught.
+TRIANGULAR_STILL_FALLBACK = {
+    "lu": "column-wise",
+    "ludcmp": "column-wise",
+    "gramschmidt": "column-wise",
+    "durbin": "negative fine coefficient",
+}
+
+
+@pytest.mark.parametrize("name", TRIANGULAR_SUPPORTED)
+def test_triangular_kernels_no_longer_fall_back(name):
+    module = _build(name)
+    hierarchy = _hierarchy("SA")
+    symbolic = symbolic_cm(module, None, hierarchy)
+    fast = polyufc_cm(generate_trace(module), hierarchy, engine="fast")
+    assert symbolic.counters() == fast.counters()
+
+
+@pytest.mark.parametrize("name", sorted(TRIANGULAR_STILL_FALLBACK))
+def test_remaining_fallbacks_are_not_about_triangular_bounds(name):
+    module = _build(name)
+    with pytest.raises(SymbolicUnsupported) as excinfo:
+        symbolic_cm(module, None, _hierarchy("SA"))
+    reason = str(excinfo.value)
+    assert TRIANGULAR_STILL_FALLBACK[name] in reason
+    for triangular_marker in ("non-rectangular", "box budget"):
+        assert triangular_marker not in reason
+
+
 @pytest.mark.parametrize("kind", ["SA", "FA"])
 @pytest.mark.parametrize("name", ALL_BENCHMARKS)
 def test_engines_agree(name, kind):

@@ -52,13 +52,18 @@ SUPPORTED_CASES = [
     ("3mm", dict(ni=5, nj=7, nk=3, nl=4, nm=6)),
     ("atax", dict(m=9, n=13)),
     ("doitgen", dict(nq=5, nr=4, np_=7)),
+    ("trisolv", dict(n=15)),  # triangular: the widened engine's class
 ]
 
-# Outside the quasi-affine class: mvt's second nest walks a matrix
-# column-wise (sub-line dim outermost), trisolv has triangular bounds.
+# Outside the supported class: mvt's second nest walks a matrix
+# column-wise (sub-line dim outermost); lu at n=8 packs two rows per
+# line, making its column walk line-strided under a sub-line outer dim.
+# Triangular bounds alone (trisolv) no longer disqualify -- the widened
+# engine unrolls iv-anchored loops per-iteration, so trisolv moved to
+# the supported side.
 UNSUPPORTED_CASES = [
     ("mvt", dict(n=17)),
-    ("trisolv", dict(n=15)),
+    ("lu", dict(n=8)),
 ]
 
 

@@ -1,0 +1,233 @@
+"""Kernel-family artifacts through the service: digest, fast path, faults.
+
+The tentpole contract: for ``engine="parametric"`` jobs the scheduler
+keys a per-family artifact by :meth:`JobSpec.family_digest` -- a
+size-erased, engine-erased, dim-rename-normalized structural hash -- and
+a warm sweep over N sizes does O(1) CM work per size after the family
+fits, serving counters bit-for-bit identical to a concrete symbolic
+run.  Faults stay inside the established store discipline: a corrupted
+artifact is quarantined and recomputed, and degraded results are never
+folded into a family.
+"""
+
+import pytest
+
+from repro.benchsuite import REGISTRY
+from repro.benchsuite.registry import BenchmarkSpec
+from repro.ir.builder import AffineBuilder
+from repro.ir.core import F32, Module
+from repro.mlpolyufc.characterization import FAMILY_SERVED_NOTE
+from repro.service.events import ListSink
+from repro.service.scheduler import Scheduler
+from repro.service.spec import JobSpec, _family_structure
+from repro.service.store import ResultStore
+
+#: gemm stays small enough for the reference-grade engines but large
+#: enough that its counters are affine on the swept lattice.
+FIXED = {"nj": 16, "nk": 16}
+SAMPLE_NI = (16, 24, 32, 56)
+CHART_NI = (40, 48)
+
+
+@pytest.fixture()
+def sink():
+    return ListSink()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def _spec(ni, engine="parametric", **kwargs):
+    return JobSpec(
+        benchmark="gemm",
+        engine=engine,
+        sizes={"ni": ni, **FIXED},
+        **kwargs,
+    )
+
+
+def _run(store, sink, specs, **kwargs):
+    sched = Scheduler(store=store, sink=sink, **kwargs)
+    try:
+        jobs = [sched.submit(spec) for spec in specs]
+        return sched.wait_all(jobs, timeout=600)
+    finally:
+        sched.shutdown()
+
+
+def _build_gemm_renamed(ni=None, nj=None, nk=None) -> Module:
+    """gemm with every iv and buffer renamed -- same structure."""
+    sizes = dict(REGISTRY["gemm"].default_sizes)
+    ni, nj, nk = ni or sizes["ni"], nj or sizes["nj"], nk or sizes["nk"]
+    module = Module("gemm_renamed")
+    x = module.add_buffer("X", (ni, nk), F32)
+    y = module.add_buffer("Y", (nk, nj), F32)
+    z = module.add_buffer("Z", (ni, nj), F32)
+    builder = AffineBuilder(module)
+    with builder.loop("p", 0, ni):
+        with builder.loop("q", 0, nj):
+            beta_z = builder.mul(
+                builder.load(z, ["p", "q"]), builder.const(0.3)
+            )
+            builder.store(beta_z, z, ["p", "q"])
+            with builder.loop("r", 0, nk):
+                prod = builder.mul(
+                    builder.mul(
+                        builder.const(1.2), builder.load(x, ["p", "r"])
+                    ),
+                    builder.load(y, ["r", "q"]),
+                )
+                builder.store(
+                    builder.add(builder.load(z, ["p", "q"]), prod),
+                    z,
+                    ["p", "q"],
+                )
+    return module
+
+
+# ---------------------------------------------------------------------------
+# Family digest normalization
+# ---------------------------------------------------------------------------
+
+
+def test_family_digest_erases_sizes_engine_and_objective():
+    base = _spec(24).family_digest()
+    assert _spec(56).family_digest() == base
+    assert _spec(24, engine="symbolic").family_digest() == base
+    assert _spec(24, objective="energy").family_digest() == base
+    other = JobSpec(benchmark="2mm", engine="parametric")
+    assert other.family_digest() != base
+
+
+def test_family_digest_keeps_model_knobs():
+    base = _spec(24).family_digest()
+    assert _spec(24, platform="bdw").family_digest() != base
+    assert _spec(24, set_associative=False).family_digest() != base
+
+
+def test_family_digest_invariant_under_dim_and_buffer_renames(
+    monkeypatch,
+):
+    gemm = REGISTRY["gemm"]
+    renamed = BenchmarkSpec(
+        name="gemm_renamed",
+        category=gemm.category,
+        source=gemm.source,
+        build=_build_gemm_renamed,
+        paper_sizes=gemm.paper_sizes,
+        sim_sizes=gemm.sim_sizes,
+        size_names=gemm.size_names,
+        default_sizes=gemm.default_sizes,
+    )
+    monkeypatch.setitem(REGISTRY, "gemm_renamed", renamed)
+    _family_structure.cache_clear()
+    try:
+        alias = JobSpec(
+            benchmark="gemm_renamed",
+            engine="parametric",
+            sizes={"ni": 24, **FIXED},
+        )
+        assert alias.family_digest() == _spec(24).family_digest()
+    finally:
+        _family_structure.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# Warm-sweep fast path
+# ---------------------------------------------------------------------------
+
+
+def test_warm_sweep_builds_one_family_then_serves(store, sink):
+    reports = _run(
+        store,
+        sink,
+        [_spec(ni) for ni in SAMPLE_NI + CHART_NI],
+    )
+    assert len(reports) == len(SAMPLE_NI) + len(CHART_NI)
+    counts = sink.counts()
+    assert counts["family_sample"] == len(SAMPLE_NI)
+    assert counts["family_fit"] >= 1
+    assert counts["family_served"] == len(CHART_NI)
+    served = sink.events("family_served")
+    for event in served:
+        assert "source=chart" in event.detail
+        assert "units=1" in event.detail
+    # exactly one family artifact on disk, holding only the sampled sizes
+    assert store.stats()["families"] == 1
+    digest = _spec(SAMPLE_NI[0]).family_digest()
+    artifact = store.get_family(digest)
+    assert artifact is not None
+    assert len(artifact.samples) == len(SAMPLE_NI)
+
+
+def test_family_served_counters_match_concrete_symbolic(store, sink):
+    _run(store, sink, [_spec(ni) for ni in SAMPLE_NI])
+    ni = CHART_NI[0]
+    (served,) = _run(store, sink, [_spec(ni)])
+    fresh_sink = ListSink()
+    (concrete,) = _run(
+        ResultStore(store.root.parent / "fresh"),
+        fresh_sink,
+        [_spec(ni, engine="symbolic")],
+    )
+    assert [u.cm_note for u in served.units] == [FAMILY_SERVED_NOTE] * len(
+        served.units
+    )
+    for mine, theirs in zip(served.units, concrete.units):
+        assert mine.omega == theirs.omega
+        assert mine.q_dram_model == theirs.q_dram_model
+        assert mine.model_level_bytes == theirs.model_level_bytes
+        assert mine.model_dram_lines == theirs.model_dram_lines
+        assert mine.oi_fpb == theirs.oi_fpb
+        assert mine.cap_ghz == theirs.cap_ghz
+
+
+# ---------------------------------------------------------------------------
+# Fault discipline
+# ---------------------------------------------------------------------------
+
+
+def test_corrupt_family_artifact_is_quarantined_and_recomputed(
+    store, sink
+):
+    _run(store, sink, [_spec(ni) for ni in SAMPLE_NI])
+    digest = _spec(SAMPLE_NI[0]).family_digest()
+    path = store.family_path(digest)
+    assert path.exists()
+    path.write_text(path.read_text()[:-40] + "corrupted-tail-bytes}")
+
+    assert store.get_family(digest) is None
+    assert path.with_suffix(path.suffix + ".corrupt").exists()
+
+    # a fresh sweep (new objective, so the *report* cache cannot serve
+    # it; family digest is objective-erased and unchanged) rebuilds the
+    # family from scratch instead of serving junk
+    sink.clear()
+    _run(
+        store,
+        sink,
+        [_spec(ni, objective="energy") for ni in SAMPLE_NI],
+    )
+    counts = sink.counts()
+    assert counts["family_sample"] == len(SAMPLE_NI)
+    assert counts.get("family_served", 0) == 0
+    assert store.get_family(digest) is not None
+
+
+def test_degraded_results_are_never_folded_into_a_family(store, sink):
+    (report,) = _run(
+        store, sink, [_spec(SAMPLE_NI[0], cm_timeout_s=1e-9)]
+    )
+    assert not report.fully_exact
+    counts = sink.counts()
+    assert counts.get("family_sample", 0) == 0
+    assert store.stats()["families"] == 0
+
+
+def test_non_parametric_engines_skip_the_family_path(store, sink):
+    _run(store, sink, [_spec(SAMPLE_NI[0], engine="symbolic")])
+    counts = sink.counts()
+    assert counts.get("family_sample", 0) == 0
+    assert store.stats()["families"] == 0

@@ -2,10 +2,14 @@
 
 Every ``tests/corpus/*.json`` spec is a case the fuzzer once generated
 (seeded for coverage of the class: symbolic-supported and fallback
-kernels, triangular bounds, multi-statement units, strided walks, FA and
-three-level hierarchies, an empty domain).  Any future engine change
-that breaks bit-for-bit agreement on one of them fails here with the
-exact level and counter that drifted -- no fuzzing required.
+kernels, triangular and trapezoidal bounds, multi-statement units,
+strided walks, FA and three-level hierarchies, an empty domain).  The
+corpus holds two kinds of file: concrete kernel specs replayed through
+the engine-differential harness, and parametric family specs (``"kind":
+"parametric"``) replayed through the size-sweep property.  Any future
+engine change that breaks bit-for-bit agreement on one of them fails
+here with the exact level and counter that drifted -- no fuzzing
+required.
 """
 
 from pathlib import Path
@@ -13,10 +17,22 @@ from pathlib import Path
 import pytest
 
 from repro.cache import clear_memo
-from repro.verify import replay_corpus, run_case, spec_from_json
+from repro.verify import (
+    is_parametric_json,
+    pspec_from_json,
+    replay_corpus,
+    replay_parametric_corpus,
+    run_case,
+    run_parametric_case,
+    spec_from_json,
+)
 
 CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
 CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+PARAMETRIC_FILES = [
+    p for p in CORPUS_FILES if is_parametric_json(p.read_text())
+]
+CONCRETE_FILES = [p for p in CORPUS_FILES if p not in PARAMETRIC_FILES]
 
 
 @pytest.fixture(autouse=True)
@@ -27,18 +43,30 @@ def fresh_memo():
 
 
 def test_corpus_is_not_empty():
-    assert len(CORPUS_FILES) >= 5
+    assert len(CONCRETE_FILES) >= 5
+    assert len(PARAMETRIC_FILES) >= 4
 
 
 @pytest.mark.parametrize(
-    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    "path", CONCRETE_FILES, ids=[p.stem for p in CONCRETE_FILES]
 )
 def test_corpus_case_replays_clean(path):
     result = run_case(spec_from_json(path.read_text()))
     assert result.ok, "\n".join(str(d) for d in result.disagreements)
 
 
-def test_replay_corpus_helper_covers_every_file():
-    results = replay_corpus(CORPUS_DIR)
-    assert [p for p, _ in results] == CORPUS_FILES
-    assert all(r.ok for _, r in results)
+@pytest.mark.parametrize(
+    "path", PARAMETRIC_FILES, ids=[p.stem for p in PARAMETRIC_FILES]
+)
+def test_parametric_corpus_case_replays_clean(path):
+    result = run_parametric_case(pspec_from_json(path.read_text()))
+    assert result.ok, "\n".join(str(d) for d in result.disagreements)
+
+
+def test_replay_corpus_helpers_cover_every_file():
+    concrete = replay_corpus(CORPUS_DIR)
+    assert [p for p, _ in concrete] == CONCRETE_FILES
+    assert all(r.ok for _, r in concrete)
+    parametric = replay_parametric_corpus(CORPUS_DIR)
+    assert [p for p, _ in parametric] == PARAMETRIC_FILES
+    assert all(r.ok for _, r in parametric)
