@@ -1,0 +1,180 @@
+"""Governor EDP shoot-out: static caps vs reactive vs adaptive vs oracle.
+
+Replays three seeded traffic traces (steady, phase-change, multi-tenant)
+through the service cap-lookup path and runs every capping policy over
+each (``docs/GOVERNOR.md``):
+
+* **static**   -- the compiler's PolyUFC caps (``run_capped_sequence``),
+* **reactive** -- the stock UFS-like driver,
+* **adaptive** -- the online hill-climb seeded from the static caps,
+* **oracle**   -- exhaustive per-kernel/per-combo optimum (lower bound),
+
+plus **joint** (the model-side shared-cap solve) on the multi-tenant
+trace.  The acceptance shape from the paper's Fig. 5/Fig. 7 narrative:
+adaptive beats reactive when phases change, stays within 5% of static
+EDP on steady traffic, and the oracle lower-bounds everything.
+
+Each run replays the first trace twice and requires the serialized
+results to match bit-for-bit (the fixed-seed determinism gate CI holds).
+
+Results land in ``BENCH_governor.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_governor.py           # full
+    PYTHONPATH=src python benchmarks/bench_governor.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.governor import TRACE_KINDS, generate_trace, replay_trace
+
+PLATFORM = "rpl"
+
+#: smoke traces are short enough for CI but still span many control
+#: intervals per phase (reps scale each phase's duration)
+FULL_SHAPE = {"length": 6, "reps_range": (400, 1200)}
+SMOKE_SHAPE = {"length": 3, "reps_range": (60, 180)}
+
+
+def shoot_out(seed, shape):
+    """Replay every trace kind; returns (rows, deterministic)."""
+    rows = []
+    deterministic = True
+    for kind in TRACE_KINDS:
+        spec = generate_trace(
+            kind, platform=PLATFORM, seed=seed,
+            length=shape["length"], reps_range=shape["reps_range"],
+        )
+        started = time.perf_counter()
+        replay = replay_trace(spec)
+        elapsed = time.perf_counter() - started
+        if kind == TRACE_KINDS[0]:
+            again = replay_trace(spec)
+            deterministic = json.dumps(
+                replay.to_json(), sort_keys=True
+            ) == json.dumps(again.to_json(), sort_keys=True)
+        table = replay.edp_table()
+        rows.append({
+            "kind": kind,
+            "spec": spec.to_json(),
+            "segments": len(spec.segments),
+            "replay_s": round(elapsed, 2),
+            "policies": {
+                name: {
+                    key: (
+                        round(value, 6)
+                        if isinstance(value, float)
+                        else value
+                    )
+                    for key, value in row.items()
+                }
+                for name, row in table.items()
+            },
+        })
+        ranked = sorted(table, key=lambda name: table[name]["edp"])
+        print(f"  {kind} ({len(spec.segments)} segments, "
+              f"{elapsed:.1f}s replay):", flush=True)
+        for name in ranked:
+            row = table[name]
+            print(
+                f"    {name:<9} edp={row['edp']:.4f}  "
+                f"time={row['time_s'] * 1e3:.1f}ms  "
+                f"energy={row['energy_j']:.1f}J  "
+                f"switches={row['cap_switches']}",
+                flush=True,
+            )
+    return rows, deterministic
+
+
+def check_acceptance(rows, deterministic):
+    """The Fig. 5/Fig. 7 ordering gates; returns a list of violations."""
+    problems = []
+    if not deterministic:
+        problems.append("fixed-seed replay is not bit-for-bit identical")
+    by_kind = {row["kind"]: row["policies"] for row in rows}
+    steady = by_kind["steady"]
+    if steady["adaptive"]["edp"] > 1.05 * steady["static"]["edp"]:
+        problems.append(
+            f"steady: adaptive EDP {steady['adaptive']['edp']:.4f} "
+            f"exceeds 1.05x static {steady['static']['edp']:.4f}"
+        )
+    phases = by_kind["phase_change"]
+    if phases["adaptive"]["edp"] >= phases["reactive"]["edp"]:
+        problems.append(
+            f"phase_change: adaptive EDP {phases['adaptive']['edp']:.4f} "
+            f"does not beat reactive {phases['reactive']['edp']:.4f}"
+        )
+    for kind, policies in by_kind.items():
+        floor = min(
+            row["edp"] for name, row in policies.items() if name != "oracle"
+        )
+        if policies["oracle"]["edp"] > floor * 1.0005:
+            problems.append(
+                f"{kind}: oracle EDP {policies['oracle']['edp']:.4f} is "
+                f"not a lower bound (best other {floor:.4f})"
+            )
+        for name, row in policies.items():
+            if row["truncated"]:
+                problems.append(f"{kind}: policy {name} truncated")
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized traces (no JSON update by default)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", default=None,
+        help="result JSON path (default: BENCH_governor.json at repo "
+        "root; smoke runs print only)",
+    )
+    args = parser.parse_args(argv)
+
+    shape = SMOKE_SHAPE if args.smoke else FULL_SHAPE
+    print(
+        f"governor shoot-out: {len(TRACE_KINDS)} traces, seed={args.seed}, "
+        f"length={shape['length']}, reps={shape['reps_range']}"
+    )
+    rows, deterministic = shoot_out(args.seed, shape)
+    print(f"  fixed-seed determinism: "
+          f"{'bit-for-bit' if deterministic else 'MISMATCH'}")
+
+    problems = check_acceptance(rows, deterministic)
+    payload = {
+        "host": {
+            "machine": platform_mod.machine(),
+            "python": platform_mod.python_version(),
+        },
+        "smoke": args.smoke,
+        "platform": PLATFORM,
+        "seed": args.seed,
+        "deterministic": deterministic,
+        "traces": rows,
+        "problems": problems,
+    }
+    if args.output or not args.smoke:
+        out = Path(
+            args.output
+            or Path(__file__).resolve().parents[1] / "BENCH_governor.json"
+        )
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    if problems:
+        for problem in problems:
+            print(f"ACCEPTANCE: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

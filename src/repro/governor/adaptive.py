@@ -1,0 +1,269 @@
+"""Cuttlefish-style online adaptive uncore controller.
+
+The static PolyUFC cap is a *compile-time* decision; this module supplies
+its production counterpart: an online controller that *seeds* each kernel's
+uncore frequency from the service-provided static cap and then hill-climbs
+per control interval on simulated RAPL/counter feedback -- memory
+boundedness, DRAM traffic, and instant package power.  The climb minimizes
+the per-kernel EDP density ``power * full_time**2`` (proportional to the
+kernel's EDP at that frequency), the same objective ``polyufc_search``
+optimizes analytically.
+
+Costs are modelled honestly:
+
+* every frequency move pays the platform's driver-write overhead at idle
+  power, exactly as ``run_capped_sequence`` charges cap changes;
+* a probe that made things worse must *revert* (a second paid move);
+* converged kernels still re-probe periodically (``settle_intervals``), the
+  price a trust-nothing online controller pays on steady traces.
+
+Learned per-kernel frequencies persist across occurrences within an
+:class:`AdaptiveController`, so a phase-change trace pays the climb once
+per distinct kernel, not once per occurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hw.execution import (
+    KernelWorkload,
+    RunResult,
+    compute_time_s,
+    instant_power_w,
+    memory_time_s,
+    uncore_time_s,
+)
+from repro.hw.governor import SequenceResult, exhaustion_warning
+from repro.hw.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Online controller parameters.
+
+    ``step_ghz`` matches the platform cap grid so the climb lands on the
+    same frequencies ``polyufc_search`` can select.  ``explore_margin`` is
+    the relative score improvement a probe must show to be kept -- below
+    it the move is judged noise and reverted.  ``settle_intervals`` is how
+    long a converged kernel holds its frequency before re-probing.
+    """
+
+    interval_s: float = 200e-6
+    step_ghz: float = 0.1
+    explore_margin: float = 0.005
+    settle_intervals: int = 50
+    high_boundedness: float = 0.15
+    start_fraction: float = 0.7
+    max_intervals: int = 2_000_000
+
+
+@dataclass
+class AdaptiveController:
+    """Per-kernel learned frequency state, persistent across a trace.
+
+    Seeding priority for a kernel occurrence: previously *learned*
+    frequency (feedback beats any prior) > the service's static PolyUFC
+    cap > ``start_fraction * f_max``.
+    """
+
+    platform: PlatformSpec
+    config: AdaptiveConfig = AdaptiveConfig()
+    learned: Dict[str, float] = field(default_factory=dict)
+
+    def seed_freq(
+        self, workload: KernelWorkload, cap_ghz: Optional[float]
+    ) -> float:
+        uncore = self.platform.uncore
+        if workload.name in self.learned:
+            return uncore.clamp(self.learned[workload.name])
+        if cap_ghz is not None:
+            return uncore.clamp(cap_ghz)
+        return uncore.clamp(self.config.start_fraction * uncore.f_max_ghz)
+
+    def remember(self, workload: KernelWorkload, freq_ghz: float) -> None:
+        self.learned[workload.name] = freq_ghz
+
+
+def run_adaptive_sequence(
+    platform: PlatformSpec,
+    items: Sequence[Tuple[KernelWorkload, Optional[float]]],
+    config: AdaptiveConfig = AdaptiveConfig(),
+    prefetch: bool = True,
+    controller: Optional[AdaptiveController] = None,
+) -> SequenceResult:
+    """Run kernels under the adaptive controller.
+
+    ``items`` pairs each kernel with its static cap (``None`` = no cap
+    known, e.g. a cold service miss), like ``run_capped_sequence``.  Pass a
+    shared ``controller`` to persist learned frequencies across calls.
+    """
+    ctl = controller or AdaptiveController(platform, config)
+    uncore = platform.uncore
+    runs: List[RunResult] = []
+    total_time = 0.0
+    total_energy = 0.0
+    switches = 0
+    warnings: List[str] = []
+    intervals = 0
+    current: Optional[float] = None
+    for index, (workload, cap) in enumerate(items):
+        if warnings:
+            break
+        kernel_time = 0.0
+        kernel_energy = 0.0
+        # -- seed from the static cap / learned state, paying the driver
+        # write if the frequency actually moves (run_capped_sequence
+        # charges the identical cost for a cap change).
+        freq = ctl.seed_freq(workload, cap)
+        if current is None or abs(freq - current) > 1e-9:
+            switches += 1
+            overhead = platform.cap_overhead_s
+            idle_power = platform.p_constant_w + platform.uncore_power_w(
+                freq, 0.0
+            )
+            kernel_time += overhead
+            kernel_energy += idle_power * overhead
+        current = freq
+
+        # -- hill-climb state for this kernel occurrence
+        base_freq = freq
+        base_score: Optional[float] = None
+        probing = False
+        direction = 0
+        failed_directions = 0
+        settle = 0
+        interval_left = config.interval_s
+        score_weighted = 0.0
+        interval_elapsed = 0.0
+        progress = 0.0
+        while progress < 1.0:
+            intervals += 1
+            if intervals > config.max_intervals:
+                warnings.append(exhaustion_warning(
+                    config.max_intervals, workload.name,
+                    index, len(items), progress,
+                ))
+                break
+            t_compute = compute_time_s(platform, workload)
+            t_memory = memory_time_s(platform, workload, freq, prefetch)
+            full_time = max(t_compute, t_memory) + platform.overlap_rho * min(
+                t_compute, t_memory
+            )
+            power = instant_power_w(
+                platform, workload, freq, t_compute, t_memory, full_time
+            )
+            # EDP density: minimizing power * T^2 at fixed work minimizes
+            # the kernel's EDP -- the controller's "counter feedback" is
+            # instant power (RAPL) and the time model (cycles/traffic).
+            score = power * full_time * full_time
+            remaining = (1.0 - progress) * full_time
+            slice_s = min(interval_left, remaining)
+            progress += slice_s / full_time if full_time else 1.0
+            kernel_time += slice_s
+            kernel_energy += power * slice_s
+            score_weighted += score * slice_s
+            interval_elapsed += slice_s
+            interval_left -= slice_s
+            if interval_left > 1e-12:
+                continue
+            # -- interval boundary: one controller decision
+            measured = (
+                score_weighted / interval_elapsed if interval_elapsed else 0.0
+            )
+            interval_left = config.interval_s
+            score_weighted = 0.0
+            interval_elapsed = 0.0
+            if settle > 0:
+                settle -= 1
+                if settle == 0:
+                    base_score = None  # stale after holding; re-measure
+                continue
+            if direction == 0:
+                # initial probe direction from memory boundedness: a
+                # bandwidth-hungry kernel explores up, a compute-bound
+                # kernel explores down.
+                t_uncore = uncore_time_s(platform, workload, freq, prefetch)
+                bound = t_uncore / full_time if full_time else 0.0
+                direction = 1 if bound > config.high_boundedness else -1
+            if not probing:
+                base_score = measured
+                target = uncore.clamp(base_freq + direction * config.step_ghz)
+                if abs(target - base_freq) <= 1e-9:
+                    # pinned against a bound: try the other way once
+                    direction = -direction
+                    failed_directions += 1
+                    if failed_directions >= 2:
+                        failed_directions = 0
+                        settle = config.settle_intervals
+                    continue
+                freq = target
+                switches += 1
+                overhead = platform.cap_overhead_s
+                idle_power = (
+                    platform.p_constant_w + platform.uncore_power_w(freq, 0.0)
+                )
+                kernel_time += overhead
+                kernel_energy += idle_power * overhead
+                probing = True
+                continue
+            # -- a probe interval just finished
+            probing = False
+            improved = (
+                base_score is not None
+                and measured < base_score * (1.0 - config.explore_margin)
+            )
+            if improved:
+                base_freq = freq
+                base_score = measured
+                failed_directions = 0
+                continue  # keep climbing the same direction next interval
+            # worse (or flat): revert to base, flip direction
+            freq = base_freq
+            switches += 1
+            overhead = platform.cap_overhead_s
+            idle_power = (
+                platform.p_constant_w + platform.uncore_power_w(freq, 0.0)
+            )
+            kernel_time += overhead
+            kernel_energy += idle_power * overhead
+            direction = -direction
+            failed_directions += 1
+            if failed_directions >= 2:
+                # both directions rejected: converged; hold, then re-probe
+                failed_directions = 0
+                settle = config.settle_intervals
+        current = freq
+        ctl.remember(workload, base_freq)
+        runs.append(RunResult(workload.name, base_freq, kernel_time, kernel_energy))
+        total_time += kernel_time
+        total_energy += kernel_energy
+    return SequenceResult(
+        runs, total_time, total_energy, switches, warnings=warnings
+    )
+
+
+def oracle_caps(
+    platform: PlatformSpec,
+    workloads: Sequence[KernelWorkload],
+    prefetch: bool = True,
+) -> List[float]:
+    """Per-kernel EDP-optimal frequency by exhaustive noise-free sweep.
+
+    The unreachable lower bound every online policy is judged against: it
+    knows each kernel's whole EDP landscape before running it.
+    """
+    from repro.hw.execution import execute_fixed
+
+    caps: List[float] = []
+    for workload in workloads:
+        best_f = platform.uncore.f_max_ghz
+        best_edp = float("inf")
+        for f in platform.uncore.frequencies():
+            run = execute_fixed(platform, workload, f, prefetch, noisy=False)
+            if run.edp < best_edp:
+                best_edp = run.edp
+                best_f = f
+        caps.append(best_f)
+    return caps

@@ -1,0 +1,606 @@
+"""Multi-tenant contention on one simulated socket.
+
+2-4 co-scheduled tenants share the socket's uncore: one LLC, one DRAM
+pipe, and -- critically for capping -- *one* uncore frequency domain.  The
+per-kernel-in-isolation cap the PolyUFC pipeline emits is no longer
+obviously right: the socket frequency must serve the whole co-resident
+combination.
+
+Contention is modelled in two places:
+
+* **LLC capacity**: with ``n`` active tenants each effectively owns a
+  ``1/n`` slice, so a fraction of each kernel's LLC *hits* are displaced
+  to DRAM (``llc_displacement`` scales how many), growing its DRAM
+  traffic via :func:`contended_workload`;
+* **DRAM bandwidth**: per interval, each tenant's standalone demand is
+  summed; past the roofline the shared pipe stretches everyone's memory
+  time proportionally, applied through the ``dram_bw_fraction`` hook in
+  :func:`repro.hw.execution.memory_time_s`.
+
+:func:`run_multitenant` co-simulates the tenants interval by interval
+under a pluggable :class:`SocketPolicy` choosing the shared frequency:
+isolation-max static caps, the model-side joint solve
+(:func:`repro.search.joint.joint_cap_search`), a reactive UFS-style
+stepper, the online adaptive hill-climb, and a ground-truth per-combo
+oracle.  Frequency changes pay the driver overhead at idle power, exactly
+as single-tenant drivers charge it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hw.execution import (
+    KernelWorkload,
+    RunResult,
+    compute_time_s,
+    instant_power_w,
+    memory_time_s,
+    uncore_time_s,
+)
+from repro.hw.governor import SequenceResult, exhaustion_warning
+from repro.hw.platform import PlatformSpec
+from repro.model.parametric import KernelSummary
+
+
+@dataclass(frozen=True)
+class TenantKernel:
+    """One kernel in a tenant's queue: hw workload + optional model side."""
+
+    workload: KernelWorkload
+    cap_ghz: Optional[float] = None
+    summary: Optional[KernelSummary] = None
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One co-scheduled tenant: an ordered queue of kernels."""
+
+    name: str
+    kernels: Tuple[TenantKernel, ...]
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Co-simulation parameters."""
+
+    interval_s: float = 200e-6
+    #: fraction of the LLC hits displaced by capacity sharing that become
+    #: DRAM line fetches (the rest still hit, e.g. shared read-only data)
+    llc_displacement: float = 0.5
+    max_intervals: int = 2_000_000
+
+
+def contended_workload(
+    workload: KernelWorkload,
+    share: float,
+    line_bytes: int,
+    llc_displacement: float = 0.5,
+) -> KernelWorkload:
+    """The workload as seen with only ``share`` of the LLC capacity.
+
+    Displaced hits are re-billed as DRAM line fetches; private-cache
+    traffic and flops are untouched.
+    """
+    if share >= 1.0 or len(workload.level_accesses) < 3:
+        return workload
+    llc_hits = max(0, workload.level_accesses[2] - workload.dram_lines)
+    moved = int(llc_displacement * (1.0 - share) * llc_hits)
+    if moved <= 0:
+        return workload
+    return dataclasses.replace(
+        workload,
+        dram_fetch_bytes=workload.dram_fetch_bytes + moved * line_bytes,
+        dram_lines=workload.dram_lines + moved,
+    )
+
+
+@dataclass(frozen=True)
+class SocketStep:
+    """Ground-truth socket state for one combination at one frequency."""
+
+    full_times: Tuple[float, ...]
+    tenant_powers: Tuple[float, ...]  # attributable (core + DRAM) per tenant
+    socket_power_w: float
+    boundedness: float  # aggregate uncore-side pressure, drives reactive
+    #: EDP-density proxy P * max_i(T_i)^2 -- socket power times the
+    #: squared critical path, the combo-level twin of the per-kernel
+    #: ``power * T**2`` score (socket EDP is energy times *makespan*)
+    score: float
+
+
+def socket_step(
+    platform: PlatformSpec,
+    workloads: Sequence[KernelWorkload],
+    f_ghz: float,
+    prefetch: bool = True,
+) -> SocketStep:
+    """Evaluate the co-resident combination at one shared frequency.
+
+    Bandwidth sharing is proportional: standalone demands are summed and,
+    past the pipe's capacity, every tenant's DRAM-bound term is scaled by
+    the same oversubscription fraction.
+    """
+    rho = platform.overlap_rho
+    t_computes = [compute_time_s(platform, wl) for wl in workloads]
+    t_mem0 = [
+        memory_time_s(platform, wl, f_ghz, prefetch) for wl in workloads
+    ]
+    full0 = [
+        max(tc, tm) + rho * min(tc, tm)
+        for tc, tm in zip(t_computes, t_mem0)
+    ]
+    demand = sum(
+        wl.dram_bytes / ft
+        for wl, ft in zip(workloads, full0)
+        if ft > 0 and wl.dram_bytes
+    )
+    capacity = platform.dram_bandwidth(f_ghz)
+    fraction = 1.0
+    if demand > 0 and capacity > 0:
+        fraction = min(1.0, capacity / demand)
+    t_memories = [
+        memory_time_s(
+            platform, wl, f_ghz, prefetch, dram_bw_fraction=fraction
+        )
+        for wl in workloads
+    ]
+    full_times = [
+        max(tc, tm) + rho * min(tc, tm)
+        for tc, tm in zip(t_computes, t_memories)
+    ]
+    # Socket power: the constant and the (shared-domain) uncore terms are
+    # counted once; core and DRAM terms are per-tenant and attributable.
+    uncore_util = 0.0
+    tenant_powers: List[float] = []
+    for wl, tc, tm, ft in zip(workloads, t_computes, t_memories, full_times):
+        if ft <= 0:
+            tenant_powers.append(0.0)
+            continue
+        mem_util = min(1.0, tm / ft)
+        uncore_util = max(uncore_util, mem_util)
+        total = instant_power_w(platform, wl, f_ghz, tc, tm, ft)
+        tenant_powers.append(
+            total
+            - platform.p_constant_w
+            - platform.uncore_power_w(f_ghz, mem_util)
+        )
+    socket_power = (
+        platform.p_constant_w
+        + platform.uncore_power_w(f_ghz, uncore_util)
+        + sum(tenant_powers)
+    )
+    makespan = max(full_times, default=0.0)
+    score = socket_power * makespan * makespan
+    bound_num = 0.0
+    bound_den = 0.0
+    for wl, ft in zip(workloads, full_times):
+        if ft <= 0:
+            continue
+        t_unc = uncore_time_s(
+            platform, wl, f_ghz, prefetch, dram_bw_fraction=fraction
+        )
+        bound_num += min(1.0, t_unc / ft) * ft
+        bound_den += ft
+    boundedness = bound_num / bound_den if bound_den else 0.0
+    return SocketStep(
+        full_times=tuple(full_times),
+        tenant_powers=tuple(tenant_powers),
+        socket_power_w=socket_power,
+        boundedness=boundedness,
+        score=score,
+    )
+
+
+ComboKey = Tuple[Tuple[str, str], ...]  # ((tenant, kernel), ...)
+
+
+class SocketPolicy:
+    """Chooses the shared uncore frequency, once per control interval.
+
+    ``frequency`` receives the active combination (contended units), the
+    frequency currently set, and the ground-truth feedback measured over
+    the interval that just elapsed at that frequency.
+    """
+
+    name = "socket-policy"
+
+    def frequency(
+        self,
+        combo: ComboKey,
+        units: Sequence[TenantKernel],
+        current_ghz: float,
+        feedback: Optional[SocketStep],
+    ) -> float:
+        raise NotImplementedError
+
+
+class IsolationMaxPolicy(SocketPolicy):
+    """Static caps as shipped: the socket runs at the *max* of the active
+    tenants' isolation caps (the uncore domain cannot be split), missing
+    caps defaulting to ``f_max``.  The per-kernel-in-isolation baseline
+    every joint scheme is judged against."""
+
+    name = "static-isolation"
+
+    def __init__(self, platform: PlatformSpec):
+        self.platform = platform
+
+    def frequency(self, combo, units, current_ghz, feedback):
+        caps = [
+            unit.cap_ghz
+            if unit.cap_ghz is not None
+            else self.platform.uncore.f_max_ghz
+            for unit in units
+        ]
+        return max(caps) if caps else self.platform.uncore.f_max_ghz
+
+
+class JointModelPolicy(SocketPolicy):
+    """Compile-time joint solve per combination, from the PolyUFC models.
+
+    Falls back to isolation-max for combinations where any tenant lacks
+    model-side counters (e.g. a cold service miss).
+    """
+
+    name = "joint-model"
+
+    def __init__(self, platform: PlatformSpec, constants):
+        self.platform = platform
+        self.constants = constants
+        self._fallback = IsolationMaxPolicy(platform)
+        self._memo: Dict[ComboKey, float] = {}
+
+    def frequency(self, combo, units, current_ghz, feedback):
+        cached = self._memo.get(combo)
+        if cached is not None:
+            return cached
+        summaries = [unit.summary for unit in units]
+        if any(summary is None for summary in summaries) or not summaries:
+            freq = self._fallback.frequency(combo, units, current_ghz, feedback)
+        else:
+            from repro.search.joint import joint_cap_search
+
+            freq = joint_cap_search(
+                self.constants,
+                summaries,
+                self.platform.uncore.frequencies(),
+            ).f_ghz
+        self._memo[combo] = freq
+        return freq
+
+
+class ReactiveSocketPolicy(SocketPolicy):
+    """UFS-style stepper on aggregate socket boundedness (sticky-high)."""
+
+    name = "reactive"
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        up_step_ghz: float = 0.2,
+        down_step_ghz: float = 0.05,
+        high_boundedness: float = 0.25,
+        low_boundedness: float = 0.04,
+        start_fraction: float = 0.85,
+    ):
+        self.platform = platform
+        self.up_step_ghz = up_step_ghz
+        self.down_step_ghz = down_step_ghz
+        self.high_boundedness = high_boundedness
+        self.low_boundedness = low_boundedness
+        self.start_fraction = start_fraction
+        self._started = False
+
+    def frequency(self, combo, units, current_ghz, feedback):
+        if not self._started:
+            self._started = True
+            return self.platform.uncore.clamp(
+                self.start_fraction * self.platform.uncore.f_max_ghz
+            )
+        if feedback is None:
+            return current_ghz
+        if feedback.boundedness > self.high_boundedness:
+            return self.platform.uncore.clamp(current_ghz + self.up_step_ghz)
+        if feedback.boundedness < self.low_boundedness:
+            return self.platform.uncore.clamp(current_ghz - self.down_step_ghz)
+        return current_ghz
+
+
+class AdaptiveSocketPolicy(SocketPolicy):
+    """Online hill-climb on the measured socket score, per combination.
+
+    Seeds each new combination from isolation-max caps, then probes
+    +-``step_ghz`` on the ground-truth feedback score, reverting failed
+    probes and settling once both directions reject -- the socket-level
+    twin of :func:`repro.governor.adaptive.run_adaptive_sequence`.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        step_ghz: float = 0.1,
+        explore_margin: float = 0.005,
+        settle_intervals: int = 50,
+    ):
+        self.platform = platform
+        self.step_ghz = step_ghz
+        self.explore_margin = explore_margin
+        self.settle_intervals = settle_intervals
+        self._seed = IsolationMaxPolicy(platform)
+        self._state: Dict[ComboKey, dict] = {}
+
+    def frequency(self, combo, units, current_ghz, feedback):
+        state = self._state.get(combo)
+        if state is None:
+            seed = self.platform.uncore.clamp(
+                self._seed.frequency(combo, units, current_ghz, feedback)
+            )
+            state = {
+                "base": seed,
+                "base_score": None,
+                "direction": -1,
+                "probing": False,
+                "failed": 0,
+                "settle": 0,
+            }
+            self._state[combo] = state
+            return seed
+        if feedback is None:
+            return state["base"]
+        uncore = self.platform.uncore
+        if state["settle"] > 0:
+            state["settle"] -= 1
+            if state["settle"] == 0:
+                state["base_score"] = None
+            return state["base"]
+        if state["probing"]:
+            state["probing"] = False
+            base_score = state["base_score"]
+            improved = (
+                base_score is not None
+                and feedback.score < base_score * (1.0 - self.explore_margin)
+            )
+            if improved:
+                state["base"] = current_ghz
+                state["base_score"] = feedback.score
+                state["failed"] = 0
+                return current_ghz
+            state["direction"] = -state["direction"]
+            state["failed"] += 1
+            if state["failed"] >= 2:
+                state["failed"] = 0
+                state["settle"] = self.settle_intervals
+            return state["base"]
+        # sitting at base: record its score, then probe
+        state["base_score"] = feedback.score
+        target = uncore.clamp(
+            state["base"] + state["direction"] * self.step_ghz
+        )
+        if abs(target - state["base"]) <= 1e-9:
+            state["direction"] = -state["direction"]
+            state["failed"] += 1
+            if state["failed"] >= 2:
+                state["failed"] = 0
+                state["settle"] = self.settle_intervals
+            return state["base"]
+        state["probing"] = True
+        return target
+
+
+class FixedFrequencyPolicy(SocketPolicy):
+    """One pinned socket frequency for the whole run (hindsight sweeps)."""
+
+    name = "fixed"
+
+    def __init__(self, platform: PlatformSpec, f_ghz: float):
+        self.f_ghz = platform.uncore.clamp(f_ghz)
+
+    def frequency(self, combo, units, current_ghz, feedback):
+        return self.f_ghz
+
+
+class OracleSocketPolicy(SocketPolicy):
+    """Ground-truth per-combination greedy: grid argmin of the contended
+    socket score.  Unreachable online (it evaluates the real contention
+    model at every frequency before running), but still *myopic* -- it
+    cannot see across combination boundaries, so :func:`hindsight_oracle`
+    is the reported lower bound."""
+
+    name = "oracle"
+
+    def __init__(self, platform: PlatformSpec, prefetch: bool = True):
+        self.platform = platform
+        self.prefetch = prefetch
+        self._memo: Dict[ComboKey, float] = {}
+
+    def frequency(self, combo, units, current_ghz, feedback):
+        cached = self._memo.get(combo)
+        if cached is not None:
+            return cached
+        share = 1.0 / len(units) if units else 1.0
+        line = self.platform.hierarchy.line_bytes
+        workloads = [
+            contended_workload(unit.workload, share, line)
+            for unit in units
+        ]
+        best_f = self.platform.uncore.f_max_ghz
+        best = float("inf")
+        for f in self.platform.uncore.frequencies():
+            step = socket_step(self.platform, workloads, f, self.prefetch)
+            if step.score < best:
+                best = step.score
+                best_f = f
+        self._memo[combo] = best_f
+        return best_f
+
+
+def hindsight_oracle(
+    platform: PlatformSpec,
+    tenants: Sequence[Tenant],
+    config: TenancyConfig = TenancyConfig(),
+    prefetch: bool = True,
+) -> SequenceResult:
+    """The reported multi-tenant lower bound: the best *realized* EDP over
+    every fixed grid frequency held for the whole trace plus the
+    per-combination greedy.  Per-combo greedy argmins do not compose into
+    a trace-level optimum (combination boundaries shift), so the sweep
+    over full-run schedules is what actually bounds the online policies.
+    """
+    best: Optional[SequenceResult] = None
+    for f in platform.uncore.frequencies():
+        result = run_multitenant(
+            platform, tenants, FixedFrequencyPolicy(platform, f),
+            config, prefetch,
+        )
+        if best is None or result.edp < best.edp:
+            best = result
+    greedy = run_multitenant(
+        platform, tenants, OracleSocketPolicy(platform, prefetch),
+        config, prefetch,
+    )
+    if greedy.edp < best.edp:
+        best = greedy
+    return best
+
+
+def run_multitenant(
+    platform: PlatformSpec,
+    tenants: Sequence[Tenant],
+    policy: SocketPolicy,
+    config: TenancyConfig = TenancyConfig(),
+    prefetch: bool = True,
+) -> SequenceResult:
+    """Co-simulate tenants under one shared uncore frequency.
+
+    Returns socket totals: ``time_s`` is the makespan, ``energy_j`` the
+    socket energy; ``runs`` records each kernel completion with its
+    attributed (core + DRAM + shared-term share) energy.  Driver-write
+    overhead on frequency changes stalls the whole socket and is charged
+    to the socket totals.
+    """
+    if not 1 <= len(tenants) <= 8:
+        raise ValueError("run_multitenant expects 1-8 tenants")
+    line = platform.hierarchy.line_bytes
+    indices = [0] * len(tenants)
+    progress = [0.0] * len(tenants)
+    kernel_time = [0.0] * len(tenants)
+    kernel_energy = [0.0] * len(tenants)
+    runs: List[RunResult] = []
+    total_time = 0.0
+    total_energy = 0.0
+    switches = 0
+    warnings: List[str] = []
+    intervals = 0
+    freq: Optional[float] = None
+    feedback: Optional[SocketStep] = None
+    last_combo: Optional[ComboKey] = None
+    total_kernels = sum(len(t.kernels) for t in tenants)
+    done_kernels = 0
+
+    def finish(ti: int, f: float) -> None:
+        nonlocal done_kernels
+        tenant = tenants[ti]
+        unit = tenant.kernels[indices[ti]]
+        runs.append(RunResult(
+            f"{tenant.name}:{unit.workload.name}",
+            f,
+            kernel_time[ti],
+            kernel_energy[ti],
+        ))
+        indices[ti] += 1
+        progress[ti] = 0.0
+        kernel_time[ti] = 0.0
+        kernel_energy[ti] = 0.0
+        done_kernels += 1
+
+    while True:
+        active = [
+            ti for ti in range(len(tenants))
+            if indices[ti] < len(tenants[ti].kernels)
+        ]
+        if not active:
+            break
+        n = len(active)
+        share = 1.0 / n
+        units = [tenants[ti].kernels[indices[ti]] for ti in active]
+        workloads = [
+            contended_workload(
+                unit.workload, share, line, config.llc_displacement
+            )
+            for unit in units
+        ]
+        combo: ComboKey = tuple(
+            (tenants[ti].name, unit.workload.name)
+            for ti, unit in zip(active, units)
+        )
+        if combo != last_combo:
+            feedback = None  # stale: measured on a different combination
+            last_combo = combo
+        intervals += 1
+        if intervals > config.max_intervals:
+            warnings.append(exhaustion_warning(
+                config.max_intervals,
+                "+".join(name for _, name in combo),
+                done_kernels,
+                total_kernels,
+                sum(progress[ti] for ti in active) / n,
+            ))
+            break
+        if freq is None:
+            freq = platform.uncore.clamp(
+                policy.frequency(combo, units, platform.uncore.f_max_ghz, None)
+            )
+        else:
+            target = platform.uncore.clamp(
+                policy.frequency(combo, units, freq, feedback)
+            )
+            if abs(target - freq) > 1e-9:
+                switches += 1
+                overhead = platform.cap_overhead_s
+                idle_power = platform.p_constant_w + platform.uncore_power_w(
+                    target, 0.0
+                )
+                total_time += overhead
+                total_energy += idle_power * overhead
+                freq = target
+        step = socket_step(platform, workloads, freq, prefetch)
+        feedback = step
+        # zero-duration kernels complete instantly at the current frequency
+        finished_now = [
+            ti for ti, ft in zip(active, step.full_times) if ft <= 0
+        ]
+        if finished_now:
+            for ti in finished_now:
+                finish(ti, freq)
+            continue
+        dt = min(
+            [config.interval_s]
+            + [
+                (1.0 - progress[pos_i]) * ft
+                for pos_i, ft in zip(active, step.full_times)
+            ]
+        )
+        shared_power = platform.p_constant_w + (
+            step.socket_power_w
+            - platform.p_constant_w
+            - sum(step.tenant_powers)
+        )  # constant + the single shared uncore term
+        for pos, (ti, ft) in enumerate(zip(active, step.full_times)):
+            progress[ti] = min(1.0, progress[ti] + dt / ft)
+            kernel_time[ti] += dt
+            kernel_energy[ti] += (
+                step.tenant_powers[pos] + shared_power / n
+            ) * dt
+        total_time += dt
+        total_energy += step.socket_power_w * dt
+        for ti in list(active):
+            if progress[ti] >= 1.0 - 1e-12:
+                finish(ti, freq)
+    return SequenceResult(
+        runs, total_time, total_energy, switches, warnings=warnings
+    )

@@ -26,6 +26,8 @@ from repro.hw.execution import (
 )
 from repro.hw.governor import (
     GovernorConfig,
+    SequenceResult,
+    exhaustion_warning,
     run_capped_sequence,
     run_governed_sequence,
 )
@@ -45,6 +47,8 @@ __all__ = [
     "workload_from_sim",
     "workload_from_model",
     "GovernorConfig",
+    "SequenceResult",
+    "exhaustion_warning",
     "run_capped_sequence",
     "run_governed_sequence",
     "DufConfig",

@@ -130,8 +130,14 @@ def memory_time_s(
     workload: KernelWorkload,
     f_uncore_ghz: float,
     prefetch: bool = True,
+    dram_bw_fraction: float = 1.0,
 ) -> float:
-    """Tm: L2 + LLC (uncore clock) + DRAM service time."""
+    """Tm: L2 + LLC (uncore clock) + DRAM service time.
+
+    ``dram_bw_fraction`` is the share of the socket's DRAM bandwidth this
+    execution may use -- 1.0 when the kernel owns the socket, less when
+    co-scheduled tenants contend for it (``repro.governor.tenancy``).
+    """
     line = platform.hierarchy.line_bytes
     t_l2 = 0.0
     if len(workload.level_accesses) >= 2:
@@ -140,8 +146,9 @@ def memory_time_s(
     if len(workload.level_accesses) >= 3:
         llc_bw = platform.llc_bandwidth(f_uncore_ghz)
         t_llc = workload.level_accesses[2] * line / llc_bw
-    bandwidth_bound = workload.dram_bytes / platform.dram_bandwidth(
-        f_uncore_ghz
+    share = min(1.0, max(dram_bw_fraction, 1e-6))
+    bandwidth_bound = workload.dram_bytes / (
+        platform.dram_bandwidth(f_uncore_ghz) * share
     )
     latency = platform.dram_latency_s(f_uncore_ghz)
     if prefetch:
@@ -157,6 +164,7 @@ def uncore_time_s(
     workload: KernelWorkload,
     f_uncore_ghz: float,
     prefetch: bool = True,
+    dram_bw_fraction: float = 1.0,
 ) -> float:
     """The uncore-clocked share of the memory time: LLC service + DRAM.
 
@@ -169,8 +177,9 @@ def uncore_time_s(
         t_llc = workload.level_accesses[2] * line / platform.llc_bandwidth(
             f_uncore_ghz
         )
-    bandwidth_bound = workload.dram_bytes / platform.dram_bandwidth(
-        f_uncore_ghz
+    share = min(1.0, max(dram_bw_fraction, 1e-6))
+    bandwidth_bound = workload.dram_bytes / (
+        platform.dram_bandwidth(f_uncore_ghz) * share
     )
     latency = platform.dram_latency_s(f_uncore_ghz)
     if prefetch:

@@ -15,7 +15,7 @@ overhead (35us on BDW, 21us on RPL, Sec. VII-F).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.hw.execution import (
@@ -51,12 +51,25 @@ class GovernorConfig:
 
 @dataclass
 class SequenceResult:
-    """Execution of a kernel sequence (totals plus per-kernel runs)."""
+    """Execution of a kernel sequence (totals plus per-kernel runs).
+
+    ``warnings`` carries structured anomalies from the simulated run --
+    today that is interval-budget exhaustion (``max_intervals``), which
+    truncates the run instead of raising so long sweeps degrade loudly
+    rather than die; ``truncated`` is True iff such a warning is present.
+    """
 
     runs: List[RunResult]
     time_s: float
     energy_j: float
     cap_switches: int = 0
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def truncated(self) -> bool:
+        return any(
+            warning.startswith("max_intervals") for warning in self.warnings
+        )
 
     @property
     def avg_power_w(self) -> float:
@@ -65,6 +78,25 @@ class SequenceResult:
     @property
     def edp(self) -> float:
         return self.energy_j * self.time_s
+
+
+def exhaustion_warning(
+    budget: int,
+    kernel: str,
+    index: int,
+    total: int,
+    progress: float,
+) -> str:
+    """The structured ``max_intervals`` truncation warning.
+
+    One format shared by every interval-driven driver (reactive, DUF,
+    adaptive), machine-matchable via ``SequenceResult.truncated``.
+    """
+    return (
+        f"max_intervals={budget} exhausted in kernel {kernel!r} "
+        f"({index + 1}/{total}, {progress:.1%} done); "
+        f"remaining work truncated"
+    )
 
 
 def run_governed_sequence(
@@ -87,6 +119,7 @@ def run_governed_sequence(
     runs: List[RunResult] = []
     total_time = 0.0
     total_energy = 0.0
+    warnings: List[str] = []
     # The control interval spans kernel boundaries, like the real driver's
     # sampling timer does: utilization is accumulated time-weighted until
     # the interval elapses, then the frequency steps.
@@ -94,17 +127,20 @@ def run_governed_sequence(
     bound_weighted = 0.0
     interval_elapsed = 0.0
     intervals = 0
-    for workload in workloads:
+    for index, workload in enumerate(workloads):
+        if warnings:
+            break
         kernel_time = 0.0
         kernel_energy = 0.0
         progress = 0.0
         while progress < 1.0:
             intervals += 1
             if intervals > config.max_intervals:
-                raise RuntimeError(
-                    f"governor did not finish {workload.name!r}; "
-                    "workload time is implausibly long"
-                )
+                warnings.append(exhaustion_warning(
+                    config.max_intervals, workload.name,
+                    index, len(workloads), progress,
+                ))
+                break
             t_compute = compute_time_s(platform, workload)
             t_memory = memory_time_s(platform, workload, freq, prefetch)
             full_time = max(t_compute, t_memory) + platform.overlap_rho * min(
@@ -138,7 +174,9 @@ def run_governed_sequence(
         runs.append(RunResult(workload.name, freq, kernel_time, kernel_energy))
         total_time += kernel_time
         total_energy += kernel_energy
-    return SequenceResult(runs, total_time, total_energy)
+    return SequenceResult(
+        runs, total_time, total_energy, warnings=warnings
+    )
 
 
 def run_capped_sequence(

@@ -1,0 +1,131 @@
+"""Joint socket-wide cap selection for co-scheduled tenants.
+
+``polyufc_search`` picks each kernel's cap *in isolation* -- correct when
+the kernel owns the socket.  With 2-4 co-scheduled tenants the uncore
+clock is one shared knob and DRAM bandwidth is one shared pipe, so the
+right cap is a property of the *combination*: a bandwidth-bound tenant
+pushes the joint choice up (its traffic now shares a saturated pipe), a
+compute-bound one pulls it down.
+
+The solve is a grid sweep over the platform's cap frequencies using the
+same Eqns 2-11 models isolation search uses, plus a proportional
+bandwidth-saturation correction: at frequency ``f`` each tenant would
+demand ``b_i = Q_i / t_i(f)`` bytes/s in isolation; when the sum exceeds
+the roofline bandwidth ``B(f)`` everyone's *memory portion* stretches by
+the oversubscription ratio.  The socket objective is
+
+    EDP_socket(f) = (sum_i E_i'(f)) * max_i t_i'(f)
+
+(total energy times makespan); ``energy`` and ``performance`` objectives
+mirror ``SearchConfig``'s vocabulary.
+
+This is the compile-time member of the tenancy shoot-out: it knows only
+the PolyUFC model counters, not the ground-truth contention the simulator
+applies (LLC displacement, exact sharing), so the simulated oracle can
+still beat it -- that gap is the result, not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.parametric import KernelSummary, PolyUFCModel
+from repro.roofline.constants import RooflineConstants
+
+JOINT_OBJECTIVES = ("edp", "energy", "performance")
+
+
+@dataclass(frozen=True)
+class JointCapResult:
+    """One joint solve: the shared cap and its predicted per-tenant cost."""
+
+    f_ghz: float
+    objective: str
+    socket_edp: float
+    socket_energy_j: float
+    makespan_s: float
+    tenant_times_s: Tuple[float, ...]
+    tenant_energies_j: Tuple[float, ...]
+
+
+def _combined_cost(
+    models: Sequence[PolyUFCModel],
+    constants: RooflineConstants,
+    f_ghz: float,
+) -> Tuple[float, float, List[float], List[float]]:
+    """(energy, makespan, per-tenant times, energies) at one shared cap."""
+    times = [model.time_s(f_ghz) for model in models]
+    demand = sum(
+        model.kernel.q_dram_bytes / t
+        for model, t in zip(models, times)
+        if t > 0
+    )
+    capacity = constants.bandwidth_at(f_ghz)
+    scale = 1.0
+    if demand > 0 and capacity > 0:
+        scale = min(1.0, capacity / demand)
+    stretched: List[float] = []
+    energies: List[float] = []
+    for model, t in zip(models, times):
+        if t <= 0:
+            stretched.append(0.0)
+            energies.append(0.0)
+            continue
+        memory_fraction = min(1.0, model.memory_time_s(f_ghz) / t)
+        t_prime = t * (1.0 + memory_fraction * (1.0 / scale - 1.0))
+        stretched.append(t_prime)
+        energies.append(model.power_w(f_ghz) * t_prime)
+    return sum(energies), max(stretched, default=0.0), stretched, energies
+
+
+def joint_cap_search(
+    constants: RooflineConstants,
+    kernels: Sequence[KernelSummary],
+    frequencies: Optional[Sequence[float]] = None,
+    objective: str = "edp",
+) -> JointCapResult:
+    """Pick one shared uncore cap for co-resident kernels.
+
+    ``frequencies`` is the platform's cap grid
+    (``platform.uncore.frequencies()``); pass it explicitly so the solve
+    lands on selectable caps.
+    """
+    if objective not in JOINT_OBJECTIVES:
+        raise ValueError(
+            f"objective must be one of {JOINT_OBJECTIVES}, got {objective!r}"
+        )
+    if not kernels:
+        raise ValueError("joint_cap_search needs at least one kernel")
+    grid = list(frequencies) if frequencies is not None else []
+    if not grid:
+        raise ValueError(
+            "joint_cap_search needs a non-empty frequency grid "
+            "(platform.uncore.frequencies())"
+        )
+    models = [PolyUFCModel(constants, kernel) for kernel in kernels]
+    best: Optional[JointCapResult] = None
+    best_key = float("inf")
+    for f in grid:
+        energy, makespan, times, energies = _combined_cost(
+            models, constants, f
+        )
+        edp = energy * makespan
+        key = {
+            "edp": edp,
+            "energy": energy,
+            "performance": makespan,
+        }[objective]
+        if key < best_key:
+            best_key = key
+            best = JointCapResult(
+                f_ghz=f,
+                objective=objective,
+                socket_edp=edp,
+                socket_energy_j=energy,
+                makespan_s=makespan,
+                tenant_times_s=tuple(times),
+                tenant_energies_j=tuple(energies),
+            )
+    assert best is not None
+    return best

@@ -132,21 +132,25 @@ class _Handler(BaseHTTPRequestHandler):
         """
         client_id = self._client_id()
         jobs = []
-        for raw in raw_specs:
-            try:
-                jobs.append(
-                    self.server.client.submit(raw, client_id=client_id)
-                )
-            except QuotaExceeded as exc:
-                return jobs, (
-                    429, str(exc), getattr(exc, "retry_after_s", None)
-                )
-            except AdmissionError as exc:
-                return jobs, (
-                    503, str(exc), getattr(exc, "retry_after_s", None)
-                )
-            except (ValueError, TypeError) as exc:  # malformed spec
-                return jobs, (400, str(exc), None)
+        # Remote-routed jobs from one request fan out per shard, not per
+        # job (one stream request each); a mid-batch refusal still
+        # flushes the already-admitted jobs on context exit.
+        with self.server.client.scheduler.batched_dispatch():
+            for raw in raw_specs:
+                try:
+                    jobs.append(
+                        self.server.client.submit(raw, client_id=client_id)
+                    )
+                except QuotaExceeded as exc:
+                    return jobs, (
+                        429, str(exc), getattr(exc, "retry_after_s", None)
+                    )
+                except AdmissionError as exc:
+                    return jobs, (
+                        503, str(exc), getattr(exc, "retry_after_s", None)
+                    )
+                except (ValueError, TypeError) as exc:  # malformed spec
+                    return jobs, (400, str(exc), None)
         return jobs, None
 
     @staticmethod

@@ -56,6 +56,7 @@ degrades throughput, never correctness.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import logging
 import os
@@ -226,6 +227,8 @@ class Scheduler:
         self._jobs: Dict[str, Job] = {}
         self._counter = itertools.count(1)
         self._closed = False
+        #: Per-thread deferred-dispatch buffer (``batched_dispatch``).
+        self._dispatch = threading.local()
 
     # -- events --------------------------------------------------------
 
@@ -331,8 +334,52 @@ class Scheduler:
                     "queued", job,
                     detail=f"shard={shard} depth={self._pending[shard]}",
                 )
-            self._pool.submit(self._run, job)
+            deferred = getattr(self._dispatch, "deferred", None)
+            if (
+                deferred is not None
+                and not job.shed
+                and job.shard in self._remotes
+            ):
+                # Inside batched_dispatch(): hold remote-routed primaries
+                # so the flush can coalesce each shard's jobs into one
+                # stream request.  (Shed jobs never cross the wire and
+                # local jobs gain nothing from batching.)
+                deferred.append(job)
+            else:
+                self._pool.submit(self._run, job)
         return job
+
+    @contextlib.contextmanager
+    def batched_dispatch(self):
+        """Defer remote dispatch so a batch fans out per *shard*, not
+        per job.
+
+        Within the block, ``submit`` collects primary jobs routed to
+        remote shards instead of dispatching each to its own forwarding
+        thread.  On exit -- including exit via an admission refusal
+        mid-batch -- the collected jobs flush: each shard's group goes
+        out as **one** ``/v1/jobs/stream`` request
+        (:meth:`_run_remote_batch`); a group of one keeps the retried
+        per-job ``/v1/jobs`` path.  Nests safely (inner blocks flush
+        their own jobs); local jobs are never deferred.
+        """
+        previous = getattr(self._dispatch, "deferred", None)
+        self._dispatch.deferred = []
+        try:
+            yield
+        finally:
+            deferred = self._dispatch.deferred
+            self._dispatch.deferred = previous
+            by_shard: Dict[int, List[Job]] = {}
+            for job in deferred:
+                by_shard.setdefault(job.shard, []).append(job)
+            for shard, group in by_shard.items():
+                if len(group) == 1:
+                    self._pool.submit(self._run, group[0])
+                else:
+                    self._pool.submit(
+                        self._run_remote_batch, group, self._remotes[shard]
+                    )
 
     def _release(self, job: Job, primary: bool) -> None:
         """Terminal bookkeeping: quota slot, shard depth, dedup entry."""
@@ -384,80 +431,46 @@ class Scheduler:
         specs: Sequence[Union[JobSpec, dict]],
         client_id: Optional[str] = None,
     ) -> List[Job]:
-        """Submit many jobs; duplicates inside the batch coalesce too."""
-        return [self.submit(spec, client_id=client_id) for spec in specs]
+        """Submit many jobs; duplicates inside the batch coalesce too.
+
+        Remote-routed jobs are dispatched per shard (one stream request
+        each), not per job -- see :meth:`batched_dispatch`.
+        """
+        with self.batched_dispatch():
+            return [
+                self.submit(spec, client_id=client_id) for spec in specs
+            ]
 
     # -- execution -----------------------------------------------------
 
-    def _run(self, job: Job) -> None:
+    def _job_timeout(self, job: Job) -> float:
+        """The job's CM deadline (0 for shed jobs: timeout-cap rung)."""
+        if job.shed:
+            # Deadline 0: every unit takes the timeout-cap rung
+            # immediately, so the job costs compile time only.
+            return 0.0
+        return (
+            job.spec.cm_timeout_s
+            if job.spec.cm_timeout_s is not None
+            else resolve_timeout(self.default_timeout_s)
+        )
+
+    def _fail_job(self, job: Job, exc: BaseException) -> None:
+        """Terminal failure: event, release, followers, future."""
         with self._lock:
-            job.state = "running"
-            job.started_at = time.time()
-        try:
-            report = None
-            if self.store is not None:
-                report = self.store.get_report(job.digest)
-            if report is not None:
-                # A stored exact report beats shedding: serve it.
-                job.source = "store"
-                job.served_by = "cache"
-                job.shed = False
-                self._emit("cache_hit", job)
-            else:
-                job.source = "computed"
-                if job.shed:
-                    # Deadline 0: every unit takes the timeout-cap rung
-                    # immediately, so the job costs compile time only.
-                    timeout = 0.0
-                else:
-                    timeout = (
-                        job.spec.cm_timeout_s
-                        if job.spec.cm_timeout_s is not None
-                        else resolve_timeout(self.default_timeout_s)
-                    )
-                remote = self._remotes.get(job.shard)
-                if remote is not None and not job.shed:
-                    self._emit(
-                        "started", job,
-                        detail=f"remote shard={job.shard} {remote.url}",
-                    )
-                    report = self._forward_remote(job, remote, timeout)
-                else:
-                    # Shed jobs never cross the wire: the cheap
-                    # timeout-cap rung costs less than a round trip.
-                    job.served_by = "local"
-                    self._emit("started", job, detail=job.spec.label())
-                    family_info: dict = {}
-                    report = self._run_local(
-                        job.spec, timeout, family_info
-                    )
-                    self._emit_family(job, family_info)
-                if not report.fully_exact:
-                    job.degraded_units = report.degraded_units
-                    self._emit(
-                        "degraded", job,
-                        detail=",".join(
-                            f"{unit.name}={unit.degraded}"
-                            for unit in report.units
-                            if unit.degraded != "exact"
-                        ),
-                    )
-                if self.store is not None and not job.shed:
-                    # No-op for degraded reports (store policy).
-                    self.store.put_report(job.spec, report)
-        except BaseException as exc:
-            with self._lock:
-                job.state = "failed"
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.finished_at = time.time()
-            self._release(job, primary=True)
-            self._emit(
-                "failed", job, detail=job.error,
-                duration_ms=(job.finished_at - job.submitted_at) * 1e3,
-            )
-            self._finish_followers(job, exc)
-            job.future.set_exception(exc)
-            return
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.finished_at = time.time()
+        self._release(job, primary=True)
+        self._emit(
+            "failed", job, detail=job.error,
+            duration_ms=(job.finished_at - job.submitted_at) * 1e3,
+        )
+        self._finish_followers(job, exc)
+        job.future.set_exception(exc)
+
+    def _complete_job(self, job: Job, report: KernelReport) -> None:
+        """Terminal success: event, release, followers, future."""
         with self._lock:
             job.state = "completed"
             job.finished_at = time.time()
@@ -480,6 +493,71 @@ class Scheduler:
             )
         self._finish_followers(job, None)
         job.future.set_result(report)
+
+    def _postprocess_and_complete(
+        self, job: Job, report: KernelReport
+    ) -> None:
+        """Degraded accounting + store persistence, then completion."""
+        try:
+            if not report.fully_exact:
+                job.degraded_units = report.degraded_units
+                self._emit(
+                    "degraded", job,
+                    detail=",".join(
+                        f"{unit.name}={unit.degraded}"
+                        for unit in report.units
+                        if unit.degraded != "exact"
+                    ),
+                )
+            if self.store is not None and not job.shed:
+                # No-op for degraded reports (store policy).
+                self.store.put_report(job.spec, report)
+        except BaseException as exc:
+            self._fail_job(job, exc)
+            return
+        self._complete_job(job, report)
+
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            job.state = "running"
+            job.started_at = time.time()
+        try:
+            report = None
+            if self.store is not None:
+                report = self.store.get_report(job.digest)
+            if report is not None:
+                # A stored exact report beats shedding: serve it.
+                job.source = "store"
+                job.served_by = "cache"
+                job.shed = False
+                self._emit("cache_hit", job)
+            else:
+                job.source = "computed"
+                timeout = self._job_timeout(job)
+                remote = self._remotes.get(job.shard)
+                if remote is not None and not job.shed:
+                    self._emit(
+                        "started", job,
+                        detail=f"remote shard={job.shard} {remote.url}",
+                    )
+                    report = self._forward_remote(job, remote, timeout)
+                else:
+                    # Shed jobs never cross the wire: the cheap
+                    # timeout-cap rung costs less than a round trip.
+                    job.served_by = "local"
+                    self._emit("started", job, detail=job.spec.label())
+                    family_info: dict = {}
+                    report = self._run_local(
+                        job.spec, timeout, family_info
+                    )
+                    self._emit_family(job, family_info)
+        except BaseException as exc:
+            self._fail_job(job, exc)
+            return
+        if report is not None and job.source == "computed":
+            self._postprocess_and_complete(job, report)
+        else:
+            self._complete_job(job, report)
 
     def _run_local(
         self,
@@ -576,6 +654,120 @@ class Scheduler:
         remote.breaker.record_success()  # closes a half-open probe
         job.served_by = "remote"
         return report
+
+    def _failover_job(
+        self, job: Job, remote: RemoteShard, exc: BaseException
+    ) -> None:
+        """Recompute one batch member locally after its remote leg broke
+        (the batch twin of :meth:`_forward_remote`'s failover branch)."""
+        reason = f"{type(exc).__name__}: {exc}"
+        log.warning(
+            "remote shard %d (%s) failed (%s); recomputing locally",
+            job.shard, remote.url, reason,
+        )
+        job.served_by = "local_failover"
+        self._emit("failover", job, detail=f"shard={job.shard} {reason}")
+        try:
+            report = self._run_local(job.spec, self._job_timeout(job))
+        except BaseException as local_exc:
+            self._fail_job(job, local_exc)
+            return
+        self._postprocess_and_complete(job, report)
+
+    def _run_remote_batch(
+        self, jobs: List[Job], remote: RemoteShard
+    ) -> None:
+        """Serve a whole shard group over **one** ``/v1/jobs/stream``.
+
+        The per-shard flush of :meth:`batched_dispatch`: store hits are
+        served first (no wire), the rest go out as a single NDJSON
+        stream request and complete as their rows arrive.  A row-level
+        ``error`` is a *job* failure (the far pipeline genuinely failed;
+        the shard answered, so the breaker records success).  A broken
+        stream -- or a job whose row never arrived -- fails over to
+        local recompute per job, exactly like the per-job path, so a
+        mid-stream shard death degrades throughput, never correctness.
+        """
+        pending: List[Job] = []
+        for job in jobs:
+            with self._lock:
+                job.state = "running"
+                job.started_at = time.time()
+            try:
+                report = None
+                if self.store is not None:
+                    report = self.store.get_report(job.digest)
+            except BaseException as exc:
+                self._fail_job(job, exc)
+                continue
+            if report is not None:
+                job.source = "store"
+                job.served_by = "cache"
+                job.shed = False
+                self._emit("cache_hit", job)
+                self._complete_job(job, report)
+                continue
+            job.source = "computed"
+            self._emit(
+                "started", job,
+                detail=(
+                    f"remote shard={job.shard} {remote.url} "
+                    f"batch={len(jobs)}"
+                ),
+            )
+            pending.append(job)
+        if not pending:
+            return
+        by_digest: Dict[str, Job] = {job.digest: job for job in pending}
+        transport_exc: Optional[BaseException] = None
+        try:
+            if not remote.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for shard {pending[0].shard} "
+                    f"({remote.url})",
+                    url=remote.url,
+                )
+            rows = remote.client.stream(
+                [job.spec.to_json() for job in pending],
+                client_id=f"fed:{os.getpid()}",
+            )
+            for row in rows:
+                digest = row.get("digest")
+                job = by_digest.pop(digest, None) if digest else None
+                if job is None:
+                    continue  # timeout marker / unknown row
+                error = row.get("error")
+                if error:
+                    self._fail_job(job, EngineFailure(
+                        f"remote shard {job.shard} ({remote.url}): "
+                        f"{error}",
+                        site="service.remote",
+                    ))
+                    continue
+                try:
+                    report = KernelReport.from_json(row["report"])
+                except (KeyError, ValueError, TypeError) as exc:
+                    # One garbage row: that job recomputes locally; the
+                    # stream (and the breaker's view of it) continues.
+                    self._failover_job(job, remote, exc)
+                    continue
+                job.served_by = "remote"
+                self._postprocess_and_complete(job, report)
+        except (CircuitOpenError, RemoteShardError,
+                TransientIOError) as exc:
+            if not isinstance(exc, CircuitOpenError):
+                remote.breaker.record_failure()
+            transport_exc = exc
+        else:
+            remote.breaker.record_success()
+        if by_digest:
+            leftover = transport_exc or RemoteShardError(
+                f"{remote.url}/v1/jobs/stream: stream ended without "
+                f"rows for {len(by_digest)} job(s)",
+                url=remote.url,
+            )
+            for job in list(by_digest.values()):
+                self._failover_job(job, remote, leftover)
 
     def _note_duration(self, duration_s: float) -> None:
         with self._lock:

@@ -1,0 +1,122 @@
+"""Tests for the online adaptive uncore controller."""
+
+import pytest
+
+from repro.governor import (
+    AdaptiveConfig,
+    AdaptiveController,
+    oracle_caps,
+    run_adaptive_sequence,
+    scale_workload,
+)
+from repro.hw import GovernorConfig, get_platform, run_governed_sequence
+from repro.hw.governor import run_capped_sequence
+from tests.hw.test_execution import bb_workload, cb_workload
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return get_platform("rpl")
+
+
+def long_cb(name="cb", reps=100):
+    return scale_workload(cb_workload(name), reps)
+
+
+def long_bb(name="bb", reps=40):
+    return scale_workload(bb_workload(name), reps)
+
+
+class TestSeeding:
+    def test_learned_beats_cap_beats_default(self, platform):
+        ctl = AdaptiveController(platform)
+        wl = cb_workload()
+        default = ctl.seed_freq(wl, None)
+        assert default == pytest.approx(
+            platform.uncore.clamp(0.7 * platform.uncore.f_max_ghz)
+        )
+        assert ctl.seed_freq(wl, 1.2) == pytest.approx(1.2)
+        ctl.remember(wl, 2.3)
+        assert ctl.seed_freq(wl, 1.2) == pytest.approx(2.3)
+
+    def test_seed_is_clamped(self, platform):
+        ctl = AdaptiveController(platform)
+        assert ctl.seed_freq(cb_workload(), 99.0) == platform.uncore.f_max_ghz
+        assert ctl.seed_freq(cb_workload(), 0.01) == platform.uncore.f_min_ghz
+
+
+class TestAdaptiveSequence:
+    def test_seed_switch_pays_overhead(self, platform):
+        result = run_adaptive_sequence(platform, [(long_cb(), 1.2)])
+        assert result.cap_switches >= 1
+        assert result.time_s > 0
+        assert result.energy_j > 0
+
+    def test_beats_reactive_on_compute_bound(self, platform):
+        """Seeded from a good static cap, the climb avoids the reactive
+        driver's sticky-high inefficiency on CB kernels (Sec. I)."""
+        items = [(long_cb(), 1.2)] * 3
+        adaptive = run_adaptive_sequence(platform, items)
+        reactive = run_governed_sequence(
+            platform, [wl for wl, _ in items], GovernorConfig()
+        )
+        assert adaptive.edp < reactive.edp
+
+    def test_oracle_is_a_lower_bound(self, platform):
+        items = [(long_cb(), 1.2), (long_bb(), None)]
+        adaptive = run_adaptive_sequence(platform, items)
+        caps = oracle_caps(platform, [wl for wl, _ in items])
+        oracle = run_capped_sequence(
+            platform, list(zip((wl for wl, _ in items), caps)), noisy=False
+        )
+        assert oracle.edp <= adaptive.edp * 1.0005
+
+    def test_learns_across_occurrences(self, platform):
+        """A bad static cap is corrected once; later occurrences seed from
+        the learned frequency, not the bad cap."""
+        # cb's EDP landscape is shallow (~0.4%/step); tighten the noise
+        # margin so the climb trusts the improvement
+        config = AdaptiveConfig(explore_margin=1e-3)
+        ctl = AdaptiveController(platform, config)
+        items = [(long_cb(), platform.uncore.f_max_ghz)]
+        first = run_adaptive_sequence(
+            platform, items, config, controller=ctl
+        )
+        assert ctl.learned["cb"] < 0.8 * platform.uncore.f_max_ghz
+        second = run_adaptive_sequence(
+            platform, items, config, controller=ctl
+        )
+        assert second.edp <= first.edp * 1.0005
+
+    def test_climb_descends_from_overprovisioned_cap(self, platform):
+        result = run_adaptive_sequence(
+            platform,
+            [(long_cb(), platform.uncore.f_max_ghz)],
+            AdaptiveConfig(explore_margin=1e-3),
+        )
+        assert result.runs[0].f_uncore_ghz < platform.uncore.f_max_ghz
+
+    def test_truncation_warns_instead_of_raising(self, platform):
+        config = AdaptiveConfig(max_intervals=5)
+        result = run_adaptive_sequence(
+            platform, [(long_cb(), 1.2), (long_bb(), None)], config
+        )
+        assert result.truncated
+        assert len(result.warnings) == 1
+        assert result.warnings[0].startswith("max_intervals=5")
+        assert "'cb'" in result.warnings[0]
+        # the sequence stopped at the exhausted kernel
+        assert len(result.runs) == 1
+
+
+class TestOracleCaps:
+    def test_caps_on_grid(self, platform):
+        caps = oracle_caps(platform, [cb_workload(), bb_workload()])
+        grid = platform.uncore.frequencies()
+        assert all(cap in grid for cap in caps)
+
+    def test_bb_oracle_above_cb_oracle(self, platform):
+        cb_cap, bb_cap = oracle_caps(
+            platform, [cb_workload(), bb_workload()]
+        )
+        assert bb_cap > cb_cap

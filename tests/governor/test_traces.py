@@ -1,0 +1,182 @@
+"""Tests for trace generation, serialization, and policy replay.
+
+Replay tests inject a synthetic resolver so they exercise the trace
+engine without the service pipeline; the service-backed path is covered
+by ``benchmarks/bench_governor.py`` and the integration suite.
+"""
+
+import json
+
+import pytest
+
+from repro.governor import (
+    TRACE_KINDS,
+    TRACE_SCHEMA_VERSION,
+    TenantKernel,
+    TraceSegment,
+    TraceSpec,
+    TraceSpecError,
+    generate_trace,
+    replay_trace,
+    scale_workload,
+)
+from repro.hw import get_platform
+from tests.hw.test_execution import bb_workload, cb_workload
+
+
+def fake_resolver(benchmark, platform):
+    """benchmark name prefix picks the workload shape; no service."""
+    plat = get_platform(platform)
+    if benchmark.startswith("cb"):
+        return [TenantKernel(workload=cb_workload(benchmark), cap_ghz=1.2)]
+    return [TenantKernel(
+        workload=bb_workload(benchmark),
+        cap_ghz=plat.bandwidth_saturation_freq(),
+    )]
+
+
+def single_spec():
+    return TraceSpec(
+        name="unit-steady",
+        platform="rpl",
+        kind="steady",
+        segments=(
+            TraceSegment("cb-a", reps=20),
+            TraceSegment("bb-a", reps=8),
+            TraceSegment("cb-a", reps=20),
+        ),
+    )
+
+
+def tenant_spec():
+    return TraceSpec(
+        name="unit-mt",
+        platform="rpl",
+        kind="multi_tenant",
+        segments=(
+            TraceSegment("cb-a", reps=10, tenant=0),
+            TraceSegment("bb-a", reps=4, tenant=1),
+        ),
+    )
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_same_seed_same_trace(self, kind):
+        a = generate_trace(kind, seed=7)
+        b = generate_trace(kind, seed=7)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        assert generate_trace("steady", seed=0) != generate_trace(
+            "steady", seed=1
+        )
+
+    def test_phase_change_alternates_pools(self):
+        spec = generate_trace("phase_change", seed=3, length=6)
+        from repro.governor.traces import BANDWIDTH_POOL, COMPUTE_POOL
+
+        for i, segment in enumerate(spec.segments):
+            pool = COMPUTE_POOL if i % 2 == 0 else BANDWIDTH_POOL
+            assert segment.benchmark in pool
+
+    def test_multi_tenant_counts(self):
+        spec = generate_trace("multi_tenant", seed=0, tenants=3, length=4)
+        assert spec.tenant_count == 3
+        assert len(spec.segments) == 12
+        with pytest.raises(TraceSpecError):
+            generate_trace("multi_tenant", tenants=5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceSpecError):
+            generate_trace("bursty")
+
+
+class TestSerialization:
+    def test_round_trip_exact(self):
+        spec = generate_trace("phase_change", seed=11)
+        assert TraceSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_through_json_text(self):
+        spec = generate_trace("multi_tenant", seed=2)
+        text = json.dumps(spec.to_json())
+        assert TraceSpec.from_json(json.loads(text)) == spec
+
+    def test_version_checked(self):
+        data = single_spec().to_json()
+        data["version"] = 99
+        with pytest.raises(TraceSpecError, match="schema v99"):
+            TraceSpec.from_json(data)
+
+    def test_unknown_keys_rejected(self):
+        data = single_spec().to_json()
+        data["burst"] = True
+        with pytest.raises(TraceSpecError, match="unknown trace keys"):
+            TraceSpec.from_json(data)
+        data = single_spec().to_json()
+        data["segments"][0]["weight"] = 2
+        with pytest.raises(TraceSpecError, match="unknown segment keys"):
+            TraceSpec.from_json(data)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(TraceSpecError):
+            TraceSegment.from_json({"benchmark": "gemm", "reps": 0})
+        with pytest.raises(TraceSpecError):
+            TraceSpec(name="x", platform="rpl", kind="steady", segments=())
+        with pytest.raises(TraceSpecError):
+            TraceSpec(
+                name="x", platform="rpl", kind="nope",
+                segments=(TraceSegment("gemm"),),
+            )
+
+
+class TestScaleWorkload:
+    def test_linear_in_reps(self):
+        wl = cb_workload()
+        scaled = scale_workload(wl, 7)
+        assert scaled.flops == 7 * wl.flops
+        assert scaled.dram_lines == 7 * wl.dram_lines
+        assert scaled.level_accesses == tuple(
+            7 * a for a in wl.level_accesses
+        )
+
+    def test_identity_for_one_rep(self):
+        wl = cb_workload()
+        assert scale_workload(wl, 1) is wl
+
+
+class TestReplay:
+    def test_single_tenant_policy_set(self):
+        replay = replay_trace(single_spec(), resolver=fake_resolver)
+        assert set(replay.results) == {
+            "static", "reactive", "adaptive", "oracle",
+        }
+        table = replay.edp_table()
+        for row in table.values():
+            assert row["edp"] > 0
+            assert not row["truncated"]
+
+    def test_multi_tenant_policy_set(self):
+        replay = replay_trace(tenant_spec(), resolver=fake_resolver)
+        assert set(replay.results) == {
+            "static", "joint", "reactive", "adaptive", "oracle",
+        }
+
+    def test_replay_is_bit_for_bit_deterministic(self):
+        first = replay_trace(single_spec(), resolver=fake_resolver)
+        second = replay_trace(single_spec(), resolver=fake_resolver)
+        assert json.dumps(first.to_json(), sort_keys=True) == json.dumps(
+            second.to_json(), sort_keys=True
+        )
+
+    def test_adaptive_competitive_on_steady(self):
+        """Acceptance shape: on a steady trace the online climb stays
+        within 5% of the static caps' EDP."""
+        replay = replay_trace(single_spec(), resolver=fake_resolver)
+        table = replay.edp_table()
+        assert table["adaptive"]["edp"] <= 1.05 * table["static"]["edp"]
+        assert table["oracle"]["edp"] <= 1.0005 * min(
+            table["static"]["edp"],
+            table["adaptive"]["edp"],
+            table["reactive"]["edp"],
+        )

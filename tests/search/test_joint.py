@@ -1,0 +1,113 @@
+"""Tests for the joint socket-wide cap solve."""
+
+import pytest
+
+from repro.hw import raptorlake_sim
+from repro.model import KernelSummary
+from repro.roofline import calibrate_platform
+from repro.search import JOINT_OBJECTIVES, joint_cap_search
+from repro.search.joint import JointCapResult
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return calibrate_platform(raptorlake_sim())
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return raptorlake_sim().uncore.frequencies()
+
+
+def cb_summary(constants, name="cb", oi_factor=10.0):
+    q = 1_000_000
+    omega = int(q * constants.b_t_dram * oi_factor)
+    return KernelSummary(name, omega, q, q // 64, (0, 4 * q, 2 * q))
+
+
+def bb_summary(constants, name="bb", oi_factor=0.1):
+    q = 50_000_000
+    omega = int(q * constants.b_t_dram * oi_factor)
+    return KernelSummary(name, omega, q, q // 64, (0, q, q))
+
+
+class TestValidation:
+    def test_needs_kernels(self, constants, grid):
+        with pytest.raises(ValueError, match="at least one kernel"):
+            joint_cap_search(constants, [], grid)
+
+    def test_needs_frequency_grid(self, constants):
+        with pytest.raises(ValueError, match="frequency grid"):
+            joint_cap_search(constants, [cb_summary(constants)], None)
+        with pytest.raises(ValueError, match="frequency grid"):
+            joint_cap_search(constants, [cb_summary(constants)], [])
+
+    def test_objective_vocabulary(self, constants, grid):
+        assert JOINT_OBJECTIVES == ("edp", "energy", "performance")
+        with pytest.raises(ValueError, match="objective"):
+            joint_cap_search(
+                constants, [cb_summary(constants)], grid, objective="speed"
+            )
+
+
+class TestJointSolve:
+    def test_result_shape(self, constants, grid):
+        kernels = [cb_summary(constants), bb_summary(constants)]
+        result = joint_cap_search(constants, kernels, grid)
+        assert isinstance(result, JointCapResult)
+        assert result.f_ghz in grid
+        assert len(result.tenant_times_s) == 2
+        assert len(result.tenant_energies_j) == 2
+        assert result.makespan_s == pytest.approx(
+            max(result.tenant_times_s)
+        )
+        assert result.socket_energy_j == pytest.approx(
+            sum(result.tenant_energies_j)
+        )
+        assert result.socket_edp == pytest.approx(
+            result.socket_energy_j * result.makespan_s
+        )
+
+    def test_bandwidth_tenant_pulls_cap_up(self, constants, grid):
+        """A co-resident BB tenant pushes the joint cap above the CB
+        kernel's isolation choice -- the shared pipe must be fed."""
+        cb_alone = joint_cap_search(
+            constants, [cb_summary(constants)], grid
+        ).f_ghz
+        pair = joint_cap_search(
+            constants,
+            [cb_summary(constants), bb_summary(constants)],
+            grid,
+        ).f_ghz
+        assert pair > cb_alone
+
+    def test_matches_isolation_for_single_cb(self, constants, grid):
+        """With one kernel the joint solve degenerates to a per-kernel
+        grid sweep: a CB kernel gets a low cap."""
+        uncore = raptorlake_sim().uncore
+        result = joint_cap_search(constants, [cb_summary(constants)], grid)
+        assert result.f_ghz <= 0.55 * uncore.f_max_ghz
+
+    def test_performance_objective_not_below_edp(self, constants, grid):
+        kernels = [cb_summary(constants), bb_summary(constants)]
+        edp_f = joint_cap_search(constants, kernels, grid).f_ghz
+        perf_f = joint_cap_search(
+            constants, kernels, grid, objective="performance"
+        ).f_ghz
+        energy_f = joint_cap_search(
+            constants, kernels, grid, objective="energy"
+        ).f_ghz
+        assert perf_f >= edp_f - 0.11
+        assert energy_f <= edp_f + 0.11
+
+    def test_two_bb_tenants_saturate_higher(self, constants, grid):
+        """Doubling bandwidth demand cannot lower the joint cap."""
+        one = joint_cap_search(
+            constants, [bb_summary(constants)], grid
+        ).f_ghz
+        two = joint_cap_search(
+            constants,
+            [bb_summary(constants), bb_summary(constants, "bb2")],
+            grid,
+        ).f_ghz
+        assert two >= one - 1e-9

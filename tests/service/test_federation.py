@@ -635,3 +635,114 @@ class TestFederatedFrontHTTP:
         with front(base) as client:
             hint = client.scheduler.retry_after_hint()
             assert 0.5 <= hint <= 60.0
+
+
+# ---------------------------------------------------------------------------
+# batched remote dispatch: one stream request per shard
+# ---------------------------------------------------------------------------
+
+
+def counting_remote(client):
+    """Wrap the front's remote client with wire-call counters."""
+    (remote,) = client.scheduler.remote_shards()
+    calls = {"stream": 0, "submit_wait": 0}
+    orig_stream = remote.client.stream
+    orig_submit_wait = remote.client.submit_wait
+
+    def stream(specs, **kwargs):
+        calls["stream"] += 1
+        return orig_stream(specs, **kwargs)
+
+    def submit_wait(spec, **kwargs):
+        calls["submit_wait"] += 1
+        return orig_submit_wait(spec, **kwargs)
+
+    remote.client.stream = stream
+    remote.client.submit_wait = submit_wait
+    return calls
+
+
+class TestStreamBatching:
+    def test_batch_is_one_stream_request_not_per_job_fanout(self, server):
+        _, base = server
+        with front(base) as client:
+            calls = counting_remote(client)
+            specs = [
+                {"benchmark": KERNEL, "objective": objective}
+                for objective in ("edp", "energy", "performance")
+            ]
+            jobs = client.submit_batch(specs)
+            reports = client.wait_all(jobs, timeout=300)
+            assert [r.benchmark for r in reports] == [KERNEL] * 3
+            # The whole batch crossed the wire exactly once.
+            assert calls == {"stream": 1, "submit_wait": 0}
+            assert all(
+                row["served_by"] == "remote"
+                for row in client.scheduler.jobs()
+            )
+            assert event_kinds(client).count("failover") == 0
+            assert_balanced(client)
+
+    def test_single_job_batch_keeps_the_retried_per_job_path(self, server):
+        _, base = server
+        with front(base) as client:
+            calls = counting_remote(client)
+            (job,) = client.submit_batch([{"benchmark": KERNEL}])
+            assert job.result(300).benchmark == KERNEL
+            # A group of one gains nothing from the single-attempt
+            # stream; it keeps the retry-laddered submit_wait leg.
+            assert calls == {"stream": 0, "submit_wait": 1}
+            assert_balanced(client)
+
+    def test_unbatched_submit_still_forwards_per_job(self, server):
+        _, base = server
+        with front(base) as client:
+            calls = counting_remote(client)
+            job = client.submit({"benchmark": KERNEL})
+            assert job.result(300).benchmark == KERNEL
+            assert calls == {"stream": 0, "submit_wait": 1}
+
+    def test_broken_stream_fails_over_every_batch_member(self, server):
+        _, base = server
+        with front(base) as client:
+            calls = counting_remote(client)
+            with faults.inject(FAULT_SITE, "droppedconn"):
+                jobs = client.submit_batch([
+                    {"benchmark": KERNEL},
+                    {"benchmark": KERNEL, "objective": "energy"},
+                ])
+                reports = client.wait_all(jobs, timeout=300)
+            assert [r.benchmark for r in reports] == [KERNEL] * 2
+            assert calls["stream"] == 1  # one broken wire attempt
+            served = [row["served_by"] for row in client.scheduler.jobs()]
+            assert served == ["local_failover", "local_failover"]
+            assert event_kinds(client).count("failover") == 2
+            assert_balanced(client)
+
+    def test_job_level_errors_in_stream_do_not_fail_over(
+        self, server, monkeypatch
+    ):
+        _, base = server
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic executor crash")
+
+        # Breaks the *remote* server's pipeline (same process); fresh
+        # specs dodge its store so the computed path is forced.
+        monkeypatch.setattr(
+            "repro.service.executor.execute_report", boom
+        )
+        with front(base) as client:
+            jobs = client.submit_batch([
+                {"benchmark": "bicg", "objective": "energy"},
+                {"benchmark": "bicg", "objective": "performance"},
+            ])
+            for job in jobs:
+                with pytest.raises(Exception, match="remote shard"):
+                    job.result(300)
+            # The shard answered both rows: job failures, not shard
+            # failures -- no failover, breaker still closed.
+            assert event_kinds(client).count("failover") == 0
+            (remote,) = client.scheduler.remote_shards()
+            assert remote.breaker.state == "closed"
+            assert_balanced(client)
